@@ -1,0 +1,217 @@
+// Benchmarks regenerating the paper's tables and figures. One benchmark
+// per table/figure (plus the DESIGN.md ablations); custom metrics report
+// the simulated-GPU quantities next to the host wall time:
+//
+//	simGflops    achieved double-precision throughput on the simulated K40
+//	simAI        arithmetic intensity (flops / DRAM byte)
+//	simWEE%      warp execution efficiency
+//	simGLE%      global load efficiency
+//	simL1%       L1 hit rate
+//	simSec/step  simulated kernel seconds per compute-potentials step
+//
+// Run with: go test -bench=. -benchmem
+package beamdyn
+
+import (
+	"testing"
+
+	"beamdyn/internal/experiments"
+	"beamdyn/internal/gpusim"
+	"beamdyn/internal/kernels"
+)
+
+// benchConfig is the Table I/II scenario scaled to benchmark-friendly
+// sizes: the shapes (kernel ordering, efficiency gaps) match the full
+// runs archived in EXPERIMENTS.md.
+func benchConfig(n, nx int) Config {
+	cfg := DefaultConfig()
+	cfg.Beam.NumParticles = n
+	cfg.NX, cfg.NY = nx, nx
+	return cfg
+}
+
+// benchKernelStep measures steady-state compute-potentials steps of one
+// kernel (history warm, cross-step state trained).
+func benchKernelStep(b *testing.B, cfg Config, k Kernel) {
+	sim := New(cfg)
+	sim.Algo = NewKernel(k)
+	sim.Warmup()
+	sim.Advance() // train/warm cross-step state
+	var m Metrics
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Advance()
+		m = sim.Last.Metrics
+	}
+	b.StopTimer()
+	reportSim(b, m)
+}
+
+func reportSim(b *testing.B, m Metrics) {
+	b.ReportMetric(m.Gflops(), "simGflops")
+	b.ReportMetric(m.ArithmeticIntensity(), "simAI")
+	b.ReportMetric(100*m.WarpExecutionEfficiency(), "simWEE%")
+	b.ReportMetric(100*m.GlobalLoadEfficiency(), "simGLE%")
+	b.ReportMetric(100*m.L1HitRate(), "simL1%")
+	b.ReportMetric(m.Time, "simSec/step")
+}
+
+// BenchmarkTable1 regenerates Table I: per-kernel profiler metrics across
+// grid resolutions at N = 1e5 (scaled to N = 2e4 and grids 32/64 for
+// benchmark runtime; run cmd/benchtables -table 1 -scale full for the
+// paper-sized table).
+func BenchmarkTable1(b *testing.B) {
+	for _, nx := range []int{32, 64} {
+		for _, k := range []Kernel{TwoPhaseRP, HeuristicRP, PredictiveRP} {
+			b.Run(benchName(k, nx), func(b *testing.B) {
+				benchKernelStep(b, benchConfig(20000, nx), k)
+			})
+		}
+	}
+}
+
+func benchName(k Kernel, nx int) string {
+	return k.String() + "/grid=" + itoa(nx)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkTable2 regenerates Table II's timing comparison: a full
+// simulation step (deposit + potentials + forces + push) per kernel and
+// configuration.
+func BenchmarkTable2(b *testing.B) {
+	for _, n := range []int{20000, 100000} {
+		for _, k := range []Kernel{HeuristicRP, PredictiveRP} {
+			b.Run(k.String()+"/n="+itoa(n), func(b *testing.B) {
+				benchKernelStep(b, benchConfig(n, 48), k)
+			})
+		}
+	}
+}
+
+// BenchmarkFig2Validation regenerates the Figure 2 validation pipeline:
+// sampled-vs-continuum force comparison on the LCLS-bend scenario.
+func BenchmarkFig2Validation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig2(experiments.Quick, uint64(i+1))
+		if res.MaxRelErrLong > 0.5 {
+			b.Fatalf("validation failed: %g", res.MaxRelErrLong)
+		}
+	}
+}
+
+// BenchmarkFig3Convergence regenerates one Figure 3 sweep (MSE vs
+// particles per cell, with its 1/N fit).
+func BenchmarkFig3Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig3(experiments.Quick, uint64(i+1))
+		if res.Slope > 0 {
+			b.Fatalf("MSE not converging: slope %g", res.Slope)
+		}
+	}
+}
+
+// BenchmarkFig4Roofline regenerates the Figure 4 roofline with all three
+// kernels measured on the simulated K40.
+func BenchmarkFig4Roofline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4(experiments.Quick, 1)
+		if len(res.Model.Points) != 3 {
+			b.Fatal("missing kernel points")
+		}
+	}
+}
+
+// benchPredictiveVariant measures a Predictive-RP variant's steady-state
+// step for the ablation benchmarks.
+func benchPredictiveVariant(b *testing.B, mod func(*kernels.Predictive)) {
+	cfg := benchConfig(20000, 48)
+	sim := New(cfg)
+	pr := kernels.NewPredictive(gpusim.New(gpusim.KeplerK40()))
+	mod(pr)
+	sim.Algo = pr
+	sim.Warmup()
+	sim.Advance()
+	var m Metrics
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Advance()
+		m = sim.Last.Metrics
+	}
+	b.StopTimer()
+	reportSim(b, m)
+}
+
+// BenchmarkAblationPredictor compares the kNN predictor against linear
+// regression (paper Section III.B.1).
+func BenchmarkAblationPredictor(b *testing.B) {
+	b.Run("knn4", func(b *testing.B) { benchPredictiveVariant(b, func(p *kernels.Predictive) {}) })
+	b.Run("knn1", func(b *testing.B) {
+		benchPredictiveVariant(b, func(p *kernels.Predictive) { p.Pred = kernels.NewKNNPredictor(1) })
+	})
+	b.Run("linreg", func(b *testing.B) {
+		benchPredictiveVariant(b, func(p *kernels.Predictive) { p.Pred = kernels.NewLinregPredictor() })
+	})
+}
+
+// BenchmarkAblationPartition compares the forecast-to-partition transforms
+// of Section III.C.2.
+func BenchmarkAblationPartition(b *testing.B) {
+	b.Run("uniform", func(b *testing.B) {
+		benchPredictiveVariant(b, func(p *kernels.Predictive) { p.Mode = kernels.UniformPartition })
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		benchPredictiveVariant(b, func(p *kernels.Predictive) { p.Mode = kernels.AdaptivePartition })
+	})
+}
+
+// BenchmarkAblationClustering compares RP-CLUSTERING strategies (pattern
+// segments vs k-means vs spatial tiles vs none).
+func BenchmarkAblationClustering(b *testing.B) {
+	modes := map[string]kernels.ClusterMode{
+		"segments": kernels.ClusterByPattern,
+		"kmeans":   kernels.ClusterKMeans,
+		"spatial":  kernels.ClusterSpatial,
+		"none":     kernels.ClusterNone,
+	}
+	for name, mode := range modes {
+		mode := mode
+		b.Run(name, func(b *testing.B) {
+			benchPredictiveVariant(b, func(p *kernels.Predictive) { p.Clustering = mode })
+		})
+	}
+}
+
+// BenchmarkAblationClusterCount sweeps the cluster (segment) capacity
+// around the paper's m = max(NX, NY).
+func BenchmarkAblationClusterCount(b *testing.B) {
+	for _, cap := range []int{32, 64, 128} {
+		cap := cap
+		b.Run("cap="+itoa(cap), func(b *testing.B) {
+			benchPredictiveVariant(b, func(p *kernels.Predictive) { p.SegmentCap = cap })
+		})
+	}
+}
+
+// BenchmarkReferenceSolver measures the sequential host reference solver,
+// the accuracy baseline for all kernels.
+func BenchmarkReferenceSolver(b *testing.B) {
+	sim := New(benchConfig(20000, 32))
+	sim.Warmup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Advance()
+	}
+}

@@ -1,0 +1,118 @@
+// Command benchtables regenerates the paper's evaluation tables and the
+// roofline figure on the simulated K40, plus the ablation studies.
+//
+// Usage:
+//
+//	benchtables -table 1 -scale medium
+//	benchtables -table 2 -scale full
+//	benchtables -fig 4
+//	benchtables -ablations
+//	benchtables -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"beamdyn/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtables: ")
+	var (
+		table     = flag.Int("table", 0, "table to regenerate: 1 or 2")
+		fig       = flag.Int("fig", 0, "figure to regenerate: 4")
+		ablations = flag.Bool("ablations", false, "run the ablation studies")
+		scaling   = flag.Bool("scaling", false, "run the multi-GPU strong-scaling study")
+		safetynet = flag.Bool("safetynet", false, "run the per-step safety-net-rate study")
+		crossdev  = flag.Bool("crossdevice", false, "run the K40-vs-P100 cross-device comparison")
+		all       = flag.Bool("all", false, "run every table, figure and ablation")
+		scale     = flag.String("scale", "medium", "experiment scale: quick | medium | full")
+		seed      = flag.Uint64("seed", 1, "Monte-Carlo seed")
+		csvOut    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		svgDir    = flag.String("svg", "", "also write figure 4 as SVG into this directory")
+	)
+	flag.Parse()
+
+	sc, ok := map[string]experiments.Scale{
+		"quick":  experiments.Quick,
+		"medium": experiments.Medium,
+		"full":   experiments.Full,
+	}[*scale]
+	if !ok {
+		log.Printf("unknown scale %q", *scale)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	emit := func(result interface{ String() string }) {
+		if *csvOut {
+			if err := experiments.WriteCSV(os.Stdout, result); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		fmt.Print(result.(fmt.Stringer))
+		fmt.Println()
+	}
+	ran := false
+	if *table == 1 || *all {
+		emit(experiments.Table1(sc, *seed))
+		ran = true
+	}
+	if *table == 2 || *all {
+		t2 := experiments.Table2(sc, *seed)
+		emit(t2)
+		if !*csvOut {
+			fmt.Printf("max Heuristic/Predictive speedup: %.2fx\n\n", t2.MaxSpeedup())
+		}
+		ran = true
+	}
+	if *fig == 4 || *all {
+		f4 := experiments.Fig4(sc, *seed)
+		emit(f4)
+		if *svgDir != "" {
+			path := *svgDir + "/fig4_roofline.svg"
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := f4.WriteSVG(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", path)
+		}
+		ran = true
+	}
+	if *ablations || *all {
+		for _, a := range experiments.AllAblations(sc, *seed) {
+			emit(a)
+		}
+		ran = true
+	}
+	if *scaling || *all {
+		fmt.Print(experiments.Scaling(experiments.PredictiveRP, []int{1, 2, 4, 8}, sc, *seed))
+		fmt.Println()
+		ran = true
+	}
+	if *crossdev || *all {
+		fmt.Print(experiments.CrossDevice(sc, *seed))
+		fmt.Println()
+		ran = true
+	}
+	if *safetynet || *all {
+		for _, k := range []experiments.KernelName{experiments.HeuristicRP, experiments.PredictiveRP} {
+			fmt.Print(experiments.SafetyNet(k, 6, sc, *seed))
+			fmt.Println()
+		}
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,74 @@
+// Command validate reproduces the paper's validation experiments: Figure 2
+// (analytic versus computed collective forces for the rigid Gaussian
+// bunch) and Figure 3 (Monte-Carlo 1/N convergence of the force error).
+//
+// Usage:
+//
+//	validate -fig 2 -scale medium
+//	validate -fig 3 -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"beamdyn/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("validate: ")
+	var (
+		fig    = flag.Int("fig", 2, "figure to reproduce: 2 or 3")
+		scale  = flag.String("scale", "medium", "experiment scale: quick | medium | full")
+		seed   = flag.Uint64("seed", 1, "Monte-Carlo seed")
+		svgDir = flag.String("svg", "", "also write the figure(s) as SVG into this directory")
+	)
+	flag.Parse()
+
+	sc, ok := map[string]experiments.Scale{
+		"quick":  experiments.Quick,
+		"medium": experiments.Medium,
+		"full":   experiments.Full,
+	}[*scale]
+	if !ok {
+		log.Printf("unknown scale %q", *scale)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	writeSVG := func(name string, render func(w io.Writer) error) {
+		if *svgDir == "" {
+			return
+		}
+		path := *svgDir + "/" + name
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := render(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	switch *fig {
+	case 2:
+		res := experiments.Fig2(sc, *seed)
+		fmt.Print(res)
+		writeSVG("fig2_longitudinal.svg", res.WriteLongitudinalSVG)
+		writeSVG("fig2_transverse.svg", res.WriteTransverseSVG)
+	case 3:
+		res := experiments.Fig3(sc, *seed)
+		fmt.Print(res)
+		writeSVG("fig3_convergence.svg", res.WriteSVG)
+	default:
+		log.Printf("unknown figure %d (validation covers figures 2 and 3)", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,60 @@
+// Convergence study (the paper's Figure 3): the mean-square error of the
+// computed collective force against the continuum reference scales as 1/N
+// with the number of macro-particles, as expected for Monte-Carlo
+// sampling.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"beamdyn"
+)
+
+func main() {
+	const nx = 48
+	base := beamdyn.DefaultConfig()
+	base.NX, base.NY = nx, nx
+
+	// Continuum reference, computed once.
+	ccfg := base
+	ccfg.Continuum = true
+	reference := beamdyn.New(ccfg)
+	reference.Warmup()
+	reference.Advance()
+	rcx, rcy := reference.Center()
+
+	fmt.Printf("%10s %12s %14s\n", "N", "N_ppc", "MSE")
+	var prevMSE, prevN float64
+	for _, n := range []int{5000, 10000, 20000, 40000, 80000} {
+		cfg := base
+		cfg.Beam.NumParticles = n
+		sim := beamdyn.New(cfg)
+		sim.Warmup()
+		sim.Advance()
+		scx, scy := sim.Center()
+
+		var sum float64
+		var count int
+		for iy := -20; iy <= 20; iy += 2 {
+			for ix := -10; ix <= 10; ix += 2 {
+				dx := float64(ix) / 5 * cfg.Beam.SigmaX
+				dy := float64(iy) / 10 * cfg.Beam.SigmaY
+				d := sim.ForceAt(scx+dx, scy+dy).AY - reference.ForceAt(rcx+dx, rcy+dy).AY
+				sum += d * d
+				count++
+			}
+		}
+		mse := sum / float64(count)
+		nppc := float64(n) / float64(nx*nx)
+		fmt.Printf("%10d %12.2f %14.5g", n, nppc, mse)
+		if prevMSE > 0 {
+			// Local log-log slope between consecutive N values.
+			slope := math.Log(mse/prevMSE) / math.Log(float64(n)/prevN)
+			fmt.Printf("   (local slope %.2f)", slope)
+		}
+		fmt.Println()
+		prevMSE, prevN = mse, float64(n)
+	}
+	fmt.Println("\nMonte-Carlo 1/N scaling predicts slope -1.")
+}

@@ -1,0 +1,44 @@
+// Kernel comparison: run the same simulation with the paper's three
+// compute-potentials kernels — Two-Phase-RP [9], Heuristic-RP [10] and the
+// machine-learning Predictive-RP (Algorithm 1) — and print the profiler
+// comparison (the shape of the paper's Table I).
+package main
+
+import (
+	"fmt"
+
+	"beamdyn"
+)
+
+func main() {
+	fmt.Printf("%-14s %12s %10s %8s %8s %8s %8s %10s\n",
+		"kernel", "gpu time(s)", "Gflop/s", "AI", "WEE%", "GLE%", "L1%", "fallback")
+	var heuristicTime, predictiveTime float64
+	for _, k := range []beamdyn.Kernel{beamdyn.TwoPhaseRP, beamdyn.HeuristicRP, beamdyn.PredictiveRP} {
+		cfg := beamdyn.DefaultConfig()
+		cfg.NX, cfg.NY = 96, 96
+
+		sim := beamdyn.New(cfg)
+		sim.Algo = beamdyn.NewKernel(k)
+		sim.Warmup()
+		// Measure a steady-state step (cross-step state warm: previous
+		// partitions remembered, prediction model trained).
+		sim.Advance()
+		sim.Advance()
+
+		m := sim.Last.Metrics
+		fmt.Printf("%-14s %12.4g %10.1f %8.2f %8.1f %8.1f %8.1f %10d\n",
+			k, m.Time, m.Gflops(), m.ArithmeticIntensity(),
+			100*m.WarpExecutionEfficiency(), 100*m.GlobalLoadEfficiency(),
+			100*m.L1HitRate(), sim.Last.FallbackEntries)
+		switch k {
+		case beamdyn.HeuristicRP:
+			heuristicTime = m.Time
+		case beamdyn.PredictiveRP:
+			predictiveTime = m.Time
+		}
+	}
+	if predictiveTime > 0 {
+		fmt.Printf("\nPredictive-RP speedup over Heuristic-RP: %.2fx\n", heuristicTime/predictiveTime)
+	}
+}

@@ -1,0 +1,3 @@
+module beamdyn
+
+go 1.22

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"beamdyn/internal/grid"
+	"beamdyn/internal/particles"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// checkpoint is the serialised simulation state. Kernel-internal state
+// (trained predictors, remembered partitions) is deliberately excluded:
+// each kernel rebuilds it within one bootstrap step, and excluding it
+// keeps checkpoints portable across kernel choices.
+type checkpoint struct {
+	Version   int
+	Cfg       Config
+	Step      int
+	CX, CY    float64
+	Dropped   int
+	Particles []particles.Particle
+	Grids     []gridSnapshot
+}
+
+// gridSnapshot serialises one history grid.
+type gridSnapshot struct {
+	NX, NY, Comp   int
+	X0, Y0, DX, DY float64
+	Step           int
+	Data           []float64
+}
+
+// Save writes the simulation state (configuration, particles, grid
+// history, step counter) to w in gob format.
+func (s *Simulation) Save(w io.Writer) error {
+	cp := checkpoint{
+		Version:   checkpointVersion,
+		Cfg:       s.Cfg,
+		Step:      s.Step,
+		CX:        s.cx,
+		CY:        s.cy,
+		Dropped:   s.dropped,
+		Particles: s.Ensemble.P,
+	}
+	for step := s.Hist.Oldest(); step >= 0 && step <= s.Hist.Latest(); step++ {
+		g := s.Hist.At(step)
+		if g == nil {
+			continue
+		}
+		cp.Grids = append(cp.Grids, gridSnapshot{
+			NX: g.NX, NY: g.NY, Comp: g.Comp,
+			X0: g.X0, Y0: g.Y0, DX: g.DX, DY: g.DY,
+			Step: g.Step, Data: g.Data,
+		})
+	}
+	return gob.NewEncoder(w).Encode(&cp)
+}
+
+// Load restores a simulation saved with Save. The returned simulation has
+// no kernel attached (set Algo afterwards); its next Advance continues
+// from the checkpointed step.
+func Load(r io.Reader) (*Simulation, error) {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	}
+	cfg := cp.Cfg
+	cfg.fillDefaults()
+	s := &Simulation{
+		Cfg:      cfg,
+		Ensemble: &particles.Ensemble{P: cp.Particles, Beam: cfg.Beam},
+		Hist:     grid.NewHistory(cfg.Kappa + 4),
+		Step:     cp.Step,
+		cx:       cp.CX,
+		cy:       cp.CY,
+		dropped:  cp.Dropped,
+	}
+	for _, gs := range cp.Grids {
+		g := grid.New(gs.NX, gs.NY, gs.Comp, gs.X0, gs.Y0, gs.DX, gs.DY)
+		g.Step = gs.Step
+		copy(g.Data, gs.Data)
+		s.Hist.Push(g)
+	}
+	if s.Hist.Latest() >= 0 && s.Hist.Latest() != cp.Step-1 {
+		return nil, fmt.Errorf("core: checkpoint history ends at step %d, expected %d",
+			s.Hist.Latest(), cp.Step-1)
+	}
+	return s, nil
+}

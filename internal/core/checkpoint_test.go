@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	// Run a simulation to a mid-point, checkpoint, and verify that the
+	// restored copy continues bit-identically to the original.
+	orig := New(testConfig())
+	orig.Warmup()
+	orig.Advance()
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Step != orig.Step {
+		t.Fatalf("restored step %d, want %d", restored.Step, orig.Step)
+	}
+	if restored.Hist.Latest() != orig.Hist.Latest() {
+		t.Fatalf("restored history head %d, want %d", restored.Hist.Latest(), orig.Hist.Latest())
+	}
+
+	orig.Advance()
+	restored.Advance()
+	if restored.Potential == nil {
+		t.Fatal("restored run produced no potential")
+	}
+	for i := range orig.Potential.Data {
+		if orig.Potential.Data[i] != restored.Potential.Data[i] {
+			t.Fatalf("restored run diverges at %d: %g vs %g",
+				i, orig.Potential.Data[i], restored.Potential.Data[i])
+		}
+	}
+	// Particle state must also match exactly.
+	for i := range orig.Ensemble.P {
+		if orig.Ensemble.P[i] != restored.Ensemble.P[i] {
+			t.Fatalf("particle %d diverged", i)
+		}
+	}
+}
+
+func TestCheckpointContinuumRun(t *testing.T) {
+	cfg := testConfig()
+	cfg.Continuum = true
+	orig := New(cfg)
+	orig.Run(5)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ocx, ocy := orig.Center()
+	rcx, rcy := restored.Center()
+	if math.Abs(ocx-rcx) > 0 || math.Abs(ocy-rcy) > 0 {
+		t.Fatalf("continuum centre not restored: (%g,%g) vs (%g,%g)", ocx, ocy, rcx, rcy)
+	}
+	orig.Advance()
+	restored.Advance()
+	for i := range orig.Potential.Data {
+		if orig.Potential.Data[i] != restored.Potential.Data[i] {
+			t.Fatal("continuum restored run diverges")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,284 @@
+// Package core orchestrates the four-step beam-dynamics simulation loop of
+// Figure 1 of the paper: (1) particle deposition, (2) compute retarded
+// potentials, (3) compute self-forces, (4) push particles; repeated for N_t
+// time steps.
+//
+// The moment grid is co-moving: each step it is re-centred on the bunch
+// centroid before deposition, the standard arrangement for beam-frame CSR
+// codes. Each historical grid keeps its own lab-frame origin, so the
+// retarded-potential integrand reads sources at their true emission-time
+// positions.
+//
+// Step 2 can run on the sequential host reference (Algo == nil) or on any
+// of the three simulated-GPU kernels via the kernels.Algorithm interface;
+// that choice is exactly the comparison of the paper's evaluation.
+package core
+
+import (
+	"fmt"
+
+	"beamdyn/internal/analytic"
+	"beamdyn/internal/grid"
+	"beamdyn/internal/kernels"
+	"beamdyn/internal/particles"
+	"beamdyn/internal/phys"
+	"beamdyn/internal/quadrature"
+	"beamdyn/internal/retard"
+)
+
+// Config describes a simulation run.
+type Config struct {
+	// Beam and Lattice give the physical scenario.
+	Beam    phys.Beam
+	Lattice phys.Lattice
+	// NX, NY is the moment-grid resolution.
+	NX, NY int
+	// PadSigma is the half-extent of the grid in units of the beam sigmas
+	// (default 5).
+	PadSigma float64
+	// Dt is the time step; 0 derives it from the longitudinal beam size
+	// (c*Dt = SigmaY), which makes the radial subregions resolve the bunch.
+	Dt float64
+	// Kappa is the retardation depth in subregions (default 6).
+	Kappa int
+	// Tol is the rp-integral error tolerance tau (default 1e-6, as in the
+	// paper's experiments).
+	Tol float64
+	// WeightExp is the radial kernel exponent (default 1/3, the
+	// longitudinal collective-effect kernel).
+	WeightExp float64
+	// Inner is the inner Newton-Cotes rule (default Simpson).
+	Inner quadrature.NewtonCotesOrder
+	// Scheme is the deposition/interpolation weighting (default CIC).
+	Scheme grid.Scheme
+	// Shape is the sampled longitudinal bunch profile (default Gaussian).
+	Shape particles.Shape
+	// Seed seeds the Monte-Carlo sampling.
+	Seed uint64
+	// Rigid freezes the internal bunch distribution: particles translate
+	// at the design velocity without force response. This is the 1-D
+	// rigid-bunch validation mode of Section V.A.
+	Rigid bool
+	// Continuum replaces Monte-Carlo deposition by the exact continuum
+	// Gaussian density (implies Rigid): the noiseless reference run of
+	// the validation experiments. No particles are sampled.
+	Continuum bool
+	// ForceScale multiplies the interpolated potential gradients when
+	// converting to accelerations (default 1; validation compares shapes,
+	// not absolute units).
+	ForceScale float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.PadSigma == 0 {
+		c.PadSigma = 5
+	}
+	if c.Dt == 0 {
+		c.Dt = c.Beam.SigmaY / phys.C
+	}
+	if c.Kappa == 0 {
+		c.Kappa = 6
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-6
+	}
+	if c.WeightExp == 0 {
+		c.WeightExp = 1.0 / 3
+	}
+	if c.ForceScale == 0 {
+		c.ForceScale = 1
+	}
+	if c.NX < 2 || c.NY < 2 {
+		panic(fmt.Sprintf("core: invalid grid %dx%d", c.NX, c.NY))
+	}
+}
+
+// Simulation is the running state of a beam-dynamics simulation.
+type Simulation struct {
+	Cfg      Config
+	Ensemble *particles.Ensemble
+	Hist     *grid.History
+	// Step is the index of the next time step to execute.
+	Step int
+	// Algo executes the compute-potentials stage on the simulated GPU;
+	// nil selects the sequential host reference.
+	Algo kernels.Algorithm
+	// Potential holds the latest retarded-potential grid (component 0),
+	// nil until the history is deep enough to evaluate it.
+	Potential *grid.Grid
+	// Last holds the kernel step result of the latest potentials
+	// computation (nil for the host reference).
+	Last *kernels.StepResult
+	// Forces holds the per-particle self-forces of the latest step.
+	Forces []particles.Force
+	// ForceGrid holds the latest force field (components 0: Fx, 1: Fy),
+	// nil until potentials have been computed.
+	ForceGrid *grid.Grid
+
+	// cx, cy track the exact bunch centre in continuum mode.
+	cx, cy  float64
+	dropped int
+}
+
+// New builds a simulation and samples the initial bunch.
+func New(cfg Config) *Simulation {
+	cfg.fillDefaults()
+	if cfg.Continuum {
+		cfg.Rigid = true
+	}
+	ebeam := cfg.Beam
+	if cfg.Continuum {
+		if cfg.Shape != particles.GaussianShape {
+			panic("core: continuum mode supports only the Gaussian shape")
+		}
+		ebeam.NumParticles = 0
+	}
+	s := &Simulation{
+		Cfg:      cfg,
+		Ensemble: particles.NewShaped(ebeam, cfg.Shape, cfg.Seed),
+		Hist:     grid.NewHistory(cfg.Kappa + 4),
+	}
+	return s
+}
+
+// Dropped returns the cumulative number of particle depositions that fell
+// outside the grid (should stay 0 for a well-sized PadSigma).
+func (s *Simulation) Dropped() int { return s.dropped }
+
+// Center returns the current bunch centre: the exact centre in continuum
+// mode, the ensemble centroid otherwise.
+func (s *Simulation) Center() (cx, cy float64) {
+	if s.Cfg.Continuum {
+		return s.cx, s.cy
+	}
+	st := s.Ensemble.Stats()
+	return st.MeanX, st.MeanY
+}
+
+// currentGrid builds a zeroed moment grid centred on the bunch centroid.
+func (s *Simulation) currentGrid() *grid.Grid {
+	cx, cy := s.Center()
+	b := s.Cfg.Beam
+	hx := s.Cfg.PadSigma * b.SigmaX
+	hy := s.Cfg.PadSigma * b.SigmaY
+	g := grid.New(s.Cfg.NX, s.Cfg.NY, grid.MomentComponents,
+		cx-hx, cy-hy,
+		2*hx/float64(s.Cfg.NX-1), 2*hy/float64(s.Cfg.NY-1))
+	g.Step = s.Step
+	return g
+}
+
+// Params returns the rp-integral parameters of this simulation.
+func (s *Simulation) Params() retard.Params {
+	return retard.Params{
+		Dt:        s.Cfg.Dt,
+		Kappa:     s.Cfg.Kappa,
+		Tol:       s.Cfg.Tol,
+		Inner:     s.Cfg.Inner,
+		WeightExp: s.Cfg.WeightExp,
+		Component: grid.CompCharge,
+	}
+}
+
+// Ready reports whether the history is deep enough to evaluate retarded
+// potentials (at least one full subregion's worth of grids: D_{k-2}, ...,
+// D_k).
+func (s *Simulation) Ready() bool { return s.Hist.Len() >= 3 }
+
+// Advance executes one full time step (deposit, potentials, forces, push)
+// and returns the step index it executed.
+func (s *Simulation) Advance() int {
+	step := s.Step
+	// 1) Particle deposition (or its noiseless continuum limit).
+	g := s.currentGrid()
+	if s.Cfg.Continuum {
+		cx, cy := s.Center()
+		analytic.ContinuumDeposit(g, s.Cfg.Beam, cx, cy)
+	} else {
+		s.dropped += grid.Deposit(g, s.Ensemble, s.Cfg.Scheme)
+	}
+	s.Hist.Push(g)
+
+	if s.Ready() {
+		// 2) Compute retarded potentials.
+		prob := retard.NewProblem(s.Hist, s.Params())
+		pot := grid.New(g.NX, g.NY, 1, g.X0, g.Y0, g.DX, g.DY)
+		pot.Step = step
+		if s.Algo != nil {
+			s.Last = s.Algo.Step(prob, pot, 0)
+		} else {
+			prob.SolveGrid(pot, 0)
+			s.Last = nil
+		}
+		s.Potential = pot
+
+		// 3) Compute self-forces by interpolating the potential gradient.
+		s.Forces = s.computeForces(pot)
+	} else {
+		s.Forces = make([]particles.Force, s.Ensemble.Len())
+	}
+
+	// 4) Push particles.
+	if s.Cfg.Rigid {
+		// Rigid-bunch validation mode: the distribution translates at the
+		// design velocity without responding to the self-forces.
+		s.Ensemble.Drift(s.Cfg.Dt)
+		if s.Cfg.Continuum {
+			s.cy += s.Cfg.Beam.Beta() * phys.C * s.Cfg.Dt
+		}
+	} else {
+		s.Ensemble.Push(s.Forces, s.Cfg.Dt)
+	}
+	s.Step++
+	return step
+}
+
+// computeForces evaluates -grad(potential) on the grid and gathers it at
+// the particle positions.
+func (s *Simulation) computeForces(pot *grid.Grid) []particles.Force {
+	fg := grid.New(pot.NX, pot.NY, 2, pot.X0, pot.Y0, pot.DX, pot.DY)
+	for iy := 0; iy < pot.NY; iy++ {
+		for ix := 0; ix < pot.NX; ix++ {
+			gx, gy := grid.Gradient(pot, ix, iy, 0)
+			fg.Set(ix, iy, 0, -gx*s.Cfg.ForceScale)
+			fg.Set(ix, iy, 1, -gy*s.Cfg.ForceScale)
+		}
+	}
+	s.ForceGrid = fg
+	out := make([]particles.Force, s.Ensemble.Len())
+	for i := range s.Ensemble.P {
+		p := &s.Ensemble.P[i]
+		out[i] = particles.Force{
+			AX: grid.Interp(fg, p.X, p.Y, 0, s.Cfg.Scheme),
+			AY: grid.Interp(fg, p.X, p.Y, 1, s.Cfg.Scheme),
+		}
+	}
+	return out
+}
+
+// ForceAt interpolates the latest force field at (x, y); it returns zeros
+// until potentials have been computed.
+func (s *Simulation) ForceAt(x, y float64) particles.Force {
+	if s.ForceGrid == nil {
+		return particles.Force{}
+	}
+	return particles.Force{
+		AX: grid.Interp(s.ForceGrid, x, y, 0, s.Cfg.Scheme),
+		AY: grid.Interp(s.ForceGrid, x, y, 1, s.Cfg.Scheme),
+	}
+}
+
+// Run advances the simulation n steps.
+func (s *Simulation) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Advance()
+	}
+}
+
+// Warmup advances just enough steps to fill the retardation history so the
+// next Advance computes potentials at full depth.
+func (s *Simulation) Warmup() {
+	for s.Hist.Len() < s.Cfg.Kappa+3 {
+		s.Advance()
+	}
+}

@@ -1,0 +1,199 @@
+// Package diagnostics computes the standard beam-physics observables that
+// accelerator simulations report each step: RMS sizes, emittances, Twiss
+// parameters, centroid drift, and projected density profiles. The paper's
+// scenario (Section V) quotes the bunch in exactly these terms (sigma_s,
+// emittance, charge), so the diagnostics make the simulation's state
+// legible in the domain's own language.
+package diagnostics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"beamdyn/internal/particles"
+)
+
+// Summary is the per-step beam diagnostic set.
+type Summary struct {
+	// N is the macro-particle count.
+	N int
+	// MeanX, MeanY are the centroid coordinates.
+	MeanX, MeanY float64
+	// SigmaX, SigmaY are the RMS sizes about the centroid.
+	SigmaX, SigmaY float64
+	// MeanVX, MeanVY are the mean velocities; SigmaVX, SigmaVY the RMS
+	// velocity spreads about them.
+	MeanVX, MeanVY   float64
+	SigmaVX, SigmaVY float64
+	// EmittanceX, EmittanceY are the RMS trace-space emittances
+	// sqrt(<u^2><u'^2> - <u u'>^2) with u' = v_u / |v|.
+	EmittanceX, EmittanceY float64
+	// AlphaX, BetaX (and Y) are the Twiss parameters of each plane
+	// (beta = <u^2>/emittance, alpha = -<u u'>/emittance); zero when the
+	// emittance vanishes.
+	AlphaX, BetaX float64
+	AlphaY, BetaY float64
+	// TotalCharge is the summed macro charge.
+	TotalCharge float64
+}
+
+// Analyze computes the summary in two passes over the ensemble.
+func Analyze(e *particles.Ensemble) Summary {
+	s := Summary{N: e.Len()}
+	if s.N == 0 {
+		return s
+	}
+	inv := 1 / float64(s.N)
+	for i := range e.P {
+		p := &e.P[i]
+		s.MeanX += p.X
+		s.MeanY += p.Y
+		s.MeanVX += p.VX
+		s.MeanVY += p.VY
+		s.TotalCharge += p.Charge
+	}
+	s.MeanX *= inv
+	s.MeanY *= inv
+	s.MeanVX *= inv
+	s.MeanVY *= inv
+
+	// Reference speed for trace-space angles u' = v_u / |v|.
+	vref := math.Hypot(s.MeanVX, s.MeanVY)
+	if vref == 0 {
+		vref = 1
+	}
+	var xx, yy, vxvx, vyvy, xxp, yyp, xpxp, ypyp float64
+	for i := range e.P {
+		p := &e.P[i]
+		dx, dy := p.X-s.MeanX, p.Y-s.MeanY
+		dvx, dvy := p.VX-s.MeanVX, p.VY-s.MeanVY
+		xp, yp := dvx/vref, dvy/vref
+		xx += dx * dx
+		yy += dy * dy
+		vxvx += dvx * dvx
+		vyvy += dvy * dvy
+		xpxp += xp * xp
+		ypyp += yp * yp
+		xxp += dx * xp
+		yyp += dy * yp
+	}
+	xx *= inv
+	yy *= inv
+	s.SigmaX = math.Sqrt(xx)
+	s.SigmaY = math.Sqrt(yy)
+	s.SigmaVX = math.Sqrt(vxvx * inv)
+	s.SigmaVY = math.Sqrt(vyvy * inv)
+	xpxp *= inv
+	ypyp *= inv
+	xxp *= inv
+	yyp *= inv
+
+	if d := xx*xpxp - xxp*xxp; d > 0 {
+		s.EmittanceX = math.Sqrt(d)
+		s.BetaX = xx / s.EmittanceX
+		s.AlphaX = -xxp / s.EmittanceX
+	}
+	if d := yy*ypyp - yyp*yyp; d > 0 {
+		s.EmittanceY = math.Sqrt(d)
+		s.BetaY = yy / s.EmittanceY
+		s.AlphaY = -yyp / s.EmittanceY
+	}
+	return s
+}
+
+// String renders the summary in accelerator-physics notation.
+func (s Summary) String() string {
+	return fmt.Sprintf(
+		"N=%d Q=%.3g C centroid=(%.3g, %.3g) sigma=(%.3g, %.3g) eps=(%.3g, %.3g) beta=(%.3g, %.3g)",
+		s.N, s.TotalCharge, s.MeanX, s.MeanY, s.SigmaX, s.SigmaY,
+		s.EmittanceX, s.EmittanceY, s.BetaX, s.BetaY)
+}
+
+// Profile is a 1-D projected density histogram.
+type Profile struct {
+	// Lo is the left edge of the first bin, Width the bin width.
+	Lo, Width float64
+	// Density holds charge per unit length per bin.
+	Density []float64
+}
+
+// Centers returns the bin centre coordinates.
+func (p *Profile) Centers() []float64 {
+	out := make([]float64, len(p.Density))
+	for i := range out {
+		out[i] = p.Lo + (float64(i)+0.5)*p.Width
+	}
+	return out
+}
+
+// Peak returns the maximum density and its bin centre.
+func (p *Profile) Peak() (pos, density float64) {
+	best := 0
+	for i, d := range p.Density {
+		if d > p.Density[best] {
+			best = i
+		}
+	}
+	if len(p.Density) == 0 {
+		return 0, 0
+	}
+	return p.Lo + (float64(best)+0.5)*p.Width, p.Density[best]
+}
+
+// Axis selects a projection axis.
+type Axis int
+
+// Projection axes.
+const (
+	// AxisX projects onto the transverse coordinate.
+	AxisX Axis = iota
+	// AxisY projects onto the longitudinal coordinate.
+	AxisY
+)
+
+// Project histograms the ensemble's charge onto an axis over [lo, hi)
+// with the given number of bins. Out-of-range particles are dropped.
+func Project(e *particles.Ensemble, axis Axis, lo, hi float64, bins int) *Profile {
+	if bins < 1 || hi <= lo {
+		panic(fmt.Sprintf("diagnostics: bad projection range [%g, %g) x %d", lo, hi, bins))
+	}
+	p := &Profile{Lo: lo, Width: (hi - lo) / float64(bins), Density: make([]float64, bins)}
+	for i := range e.P {
+		var u float64
+		if axis == AxisX {
+			u = e.P[i].X
+		} else {
+			u = e.P[i].Y
+		}
+		b := int((u - lo) / p.Width)
+		if b < 0 || b >= bins {
+			continue
+		}
+		p.Density[b] += e.P[i].Charge / p.Width
+	}
+	return p
+}
+
+// Sparkline renders the profile as a one-line unicode sparkline, a cheap
+// visual check in terminal logs.
+func (p *Profile) Sparkline() string {
+	const ramp = " ▁▂▃▄▅▆▇█"
+	_, peak := p.Peak()
+	if peak <= 0 {
+		return strings.Repeat(" ", len(p.Density))
+	}
+	runes := []rune(ramp)
+	var b strings.Builder
+	for _, d := range p.Density {
+		idx := int(d / peak * float64(len(runes)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(runes) {
+			idx = len(runes) - 1
+		}
+		b.WriteRune(runes[idx])
+	}
+	return b.String()
+}

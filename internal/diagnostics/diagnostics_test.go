@@ -1,0 +1,153 @@
+package diagnostics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"beamdyn/internal/particles"
+	"beamdyn/internal/phys"
+)
+
+func gaussianEnsemble(n int) *particles.Ensemble {
+	return particles.NewGaussian(phys.Beam{
+		NumParticles: n,
+		TotalCharge:  1e-9,
+		SigmaX:       1e-4,
+		SigmaY:       3e-4,
+		Energy:       1e9,
+	}, 42)
+}
+
+func TestAnalyzeMatchesSamplingParameters(t *testing.T) {
+	e := gaussianEnsemble(100000)
+	s := Analyze(e)
+	if s.N != 100000 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if math.Abs(s.SigmaX-1e-4)/1e-4 > 0.02 || math.Abs(s.SigmaY-3e-4)/3e-4 > 0.02 {
+		t.Fatalf("sigmas (%g, %g)", s.SigmaX, s.SigmaY)
+	}
+	if math.Abs(s.TotalCharge-1e-9)/1e-9 > 1e-9 {
+		t.Fatalf("charge %g", s.TotalCharge)
+	}
+	// A cold beam (no velocity spread) has (numerically) zero emittance.
+	if s.EmittanceX > 1e-12 || s.EmittanceY > 1e-12 {
+		t.Fatalf("cold-beam emittance (%g, %g)", s.EmittanceX, s.EmittanceY)
+	}
+	if s.MeanVY <= 0 {
+		t.Fatal("design velocity missing")
+	}
+}
+
+func TestEmittanceOfKnownPhaseSpace(t *testing.T) {
+	// Construct an uncorrelated phase space with known second moments:
+	// x = +-a, x' = +-b equally -> <x^2> = a^2, <x'^2> = b^2, <xx'> = 0,
+	// emittance = a*b.
+	const a, b, vref = 2.0, 0.5, 100.0
+	e := &particles.Ensemble{P: []particles.Particle{
+		{X: a, VX: b * vref, VY: vref},
+		{X: a, VX: -b * vref, VY: vref},
+		{X: -a, VX: b * vref, VY: vref},
+		{X: -a, VX: -b * vref, VY: vref},
+	}}
+	s := Analyze(e)
+	if math.Abs(s.EmittanceX-a*b) > 1e-9 {
+		t.Fatalf("emittance %g, want %g", s.EmittanceX, a*b)
+	}
+	if math.Abs(s.BetaX-a*a/(a*b)) > 1e-9 {
+		t.Fatalf("beta %g, want %g", s.BetaX, a/b)
+	}
+	if math.Abs(s.AlphaX) > 1e-9 {
+		t.Fatalf("alpha %g, want 0 (uncorrelated)", s.AlphaX)
+	}
+}
+
+func TestCorrelatedPhaseSpaceAlpha(t *testing.T) {
+	// Perfect correlation x' = c*x collapses the emittance to ~0.
+	const vref = 100.0
+	var ps []particles.Particle
+	for i := -5; i <= 5; i++ {
+		x := float64(i)
+		ps = append(ps, particles.Particle{X: x, VX: 0.3 * x * vref, VY: vref})
+	}
+	s := Analyze(&particles.Ensemble{P: ps})
+	if s.EmittanceX > 1e-9 {
+		t.Fatalf("fully correlated emittance %g, want ~0", s.EmittanceX)
+	}
+}
+
+func TestEmptyEnsemble(t *testing.T) {
+	s := Analyze(&particles.Ensemble{})
+	if s.N != 0 || s.SigmaX != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Analyze(gaussianEnsemble(1000))
+	out := s.String()
+	if !strings.Contains(out, "N=1000") || !strings.Contains(out, "sigma=") {
+		t.Fatalf("summary: %s", out)
+	}
+}
+
+func TestProjectConservesChargeAndPeaksAtCentre(t *testing.T) {
+	e := gaussianEnsemble(50000)
+	p := Project(e, AxisY, -15e-4, 15e-4, 60)
+	var q float64
+	for _, d := range p.Density {
+		q += d * p.Width
+	}
+	if math.Abs(q-1e-9)/1e-9 > 0.01 {
+		t.Fatalf("projected charge %g", q)
+	}
+	pos, peak := p.Peak()
+	if peak <= 0 || math.Abs(pos) > 1e-4 {
+		t.Fatalf("peak %g at %g, want near 0", peak, pos)
+	}
+	centers := p.Centers()
+	if len(centers) != 60 || centers[0] >= centers[59] {
+		t.Fatal("bin centres wrong")
+	}
+}
+
+func TestProjectDropsOutOfRange(t *testing.T) {
+	e := &particles.Ensemble{P: []particles.Particle{
+		{X: 0, Y: 100, Charge: 1},
+		{X: 0, Y: 0.5, Charge: 1},
+	}}
+	p := Project(e, AxisY, 0, 1, 4)
+	var q float64
+	for _, d := range p.Density {
+		q += d * p.Width
+	}
+	if math.Abs(q-1) > 1e-12 {
+		t.Fatalf("in-range charge %g, want 1", q)
+	}
+}
+
+func TestProjectPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad range did not panic")
+		}
+	}()
+	Project(&particles.Ensemble{}, AxisX, 1, 1, 4)
+}
+
+func TestSparkline(t *testing.T) {
+	p := &Profile{Lo: 0, Width: 1, Density: []float64{0, 1, 4, 1, 0}}
+	s := p.Sparkline()
+	if len([]rune(s)) != 5 {
+		t.Fatalf("sparkline %q length", s)
+	}
+	r := []rune(s)
+	if r[2] <= r[1] {
+		t.Fatalf("sparkline not peaked: %q", s)
+	}
+	empty := &Profile{Lo: 0, Width: 1, Density: []float64{0, 0}}
+	if strings.TrimSpace(empty.Sparkline()) != "" {
+		t.Fatal("empty profile sparkline not blank")
+	}
+}

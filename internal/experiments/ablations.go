@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"beamdyn/internal/gpusim"
+	"beamdyn/internal/kernels"
+)
+
+// AblationRow measures one Predictive-RP variant.
+type AblationRow struct {
+	Variant string
+	// GPUTime is the simulated per-step kernel time.
+	GPUTime float64
+	// WarpExecEff and Fallback characterise the variant's control-flow
+	// quality and prediction quality.
+	WarpExecEff float64
+	Fallback    int
+	// HostOverhead is the per-step host-side cost (prediction +
+	// clustering + training).
+	HostOverhead float64
+}
+
+// AblationResult is one ablation study.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+type variant struct {
+	name string
+	mod  func(*kernels.Predictive)
+}
+
+func runVariants(title string, scale Scale, seed uint64, variants []variant) *AblationResult {
+	nx := 64
+	n := 100000
+	if scale == Quick {
+		nx, n = 32, 10000
+	}
+	res := &AblationResult{Title: title}
+	for _, v := range variants {
+		pr := kernels.NewPredictive(gpusim.New(gpusim.KeplerK40()))
+		v.mod(pr)
+		cfg := baseConfig(n, nx, seed)
+		last, host, gpu := measureKernel(cfg, pr, 2)
+		res.Rows = append(res.Rows, AblationRow{
+			Variant:      v.name,
+			GPUTime:      gpu,
+			WarpExecEff:  last.Metrics.WarpExecutionEfficiency(),
+			Fallback:     last.FallbackEntries,
+			HostOverhead: host.Overhead() / 2,
+		})
+	}
+	return res
+}
+
+// AblationPredictor compares the kNN predictor against linear regression
+// (paper Section III.B.1: "negligible difference") and against no model at
+// all (persistence through the coarse seed every step).
+func AblationPredictor(scale Scale, seed uint64) *AblationResult {
+	return runVariants("Ablation: prediction model", scale, seed, []variant{
+		{"kNN k=4 (paper)", func(p *kernels.Predictive) {}},
+		{"kNN k=1", func(p *kernels.Predictive) { p.Pred = kernels.NewKNNPredictor(1) }},
+		{"kNN k=8", func(p *kernels.Predictive) { p.Pred = kernels.NewKNNPredictor(8) }},
+		{"linear regression", func(p *kernels.Predictive) { p.Pred = kernels.NewLinregPredictor() }},
+		{"regression tree", func(p *kernels.Predictive) { p.Pred = kernels.NewTreePredictor() }},
+		{"kNN + trend (h=1)", func(p *kernels.Predictive) {
+			p.Pred = kernels.NewTrendPredictor(func() kernels.Predictor {
+				return kernels.NewKNNPredictor(4)
+			}, 1)
+		}},
+	})
+}
+
+// AblationPartition compares the two forecast-to-partition transforms of
+// Section III.C.2.
+func AblationPartition(scale Scale, seed uint64) *AblationResult {
+	return runVariants("Ablation: partition transform", scale, seed, []variant{
+		{"uniform (paper default)", func(p *kernels.Predictive) { p.Mode = kernels.UniformPartition }},
+		{"adaptive refinement", func(p *kernels.Predictive) { p.Mode = kernels.AdaptivePartition }},
+	})
+}
+
+// AblationClustering compares RP-CLUSTERING strategies: pattern-based
+// segments (default), unconstrained k-means (Algorithm 1's literal
+// clustering), spatial tiles ([10]'s heuristic) and none.
+func AblationClustering(scale Scale, seed uint64) *AblationResult {
+	return runVariants("Ablation: RP-CLUSTERING strategy", scale, seed, []variant{
+		{"pattern segments (default)", func(p *kernels.Predictive) { p.Clustering = kernels.ClusterByPattern }},
+		{"k-means on patterns", func(p *kernels.Predictive) { p.Clustering = kernels.ClusterKMeans }},
+		{"spatial tiles [10]", func(p *kernels.Predictive) { p.Clustering = kernels.ClusterSpatial }},
+		{"row-major (none)", func(p *kernels.Predictive) { p.Clustering = kernels.ClusterNone }},
+	})
+}
+
+// AblationClusterCount sweeps the cluster count m around the paper's
+// m = max(NX, NY).
+func AblationClusterCount(scale Scale, seed uint64) *AblationResult {
+	return runVariants("Ablation: cluster count m (segment capacity)", scale, seed, []variant{
+		{"cap 32 (default)", func(p *kernels.Predictive) {}},
+		{"cap 64", func(p *kernels.Predictive) { p.SegmentCap = 64 }},
+		{"cap 128", func(p *kernels.Predictive) { p.SegmentCap = 128 }},
+		{"cap 256", func(p *kernels.Predictive) { p.SegmentCap = 256 }},
+	})
+}
+
+// AblationMergeQuantile sweeps the merged-partition quantile (safety-net
+// pressure trade-off).
+func AblationMergeQuantile(scale Scale, seed uint64) *AblationResult {
+	return runVariants("Ablation: merge quantile", scale, seed, []variant{
+		{"q=0.75", func(p *kernels.Predictive) { p.MergeQuantile = 0.75 }},
+		{"q=0.9 (default)", func(p *kernels.Predictive) { p.MergeQuantile = 0.9 }},
+		{"q=1.0 (max)", func(p *kernels.Predictive) { p.MergeQuantile = 1.0 }},
+	})
+}
+
+// AllAblations runs every ablation study.
+func AllAblations(scale Scale, seed uint64) []*AblationResult {
+	return []*AblationResult{
+		AblationPredictor(scale, seed),
+		AblationPartition(scale, seed),
+		AblationClustering(scale, seed),
+		AblationClusterCount(scale, seed),
+		AblationMergeQuantile(scale, seed),
+	}
+}
+
+// String renders the study.
+func (a *AblationResult) String() string {
+	var b strings.Builder
+	header(&b, a.Title,
+		fmt.Sprintf("%-28s %12s %8s %10s %12s", "Variant", "GPU time(s)", "WEE%", "fallback", "host(s)"))
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%-28s %12.3g %8.1f %10d %12.3g\n",
+			r.Variant, r.GPUTime, 100*r.WarpExecEff, r.Fallback, r.HostOverhead)
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"beamdyn/internal/plot"
+)
+
+// WriteLongitudinalSVG renders Figure 2's longitudinal force profile.
+func (f *Fig2Result) WriteLongitudinalSVG(w io.Writer) error {
+	c := &plot.Chart{
+		Title:  "Figure 2 (longitudinal): analytic vs computed collective force",
+		XLabel: "position along bunch (m)",
+		YLabel: "force (model units)",
+		Series: []plot.Series{
+			{Name: "reference (continuum)", X: f.Longitudinal.Pos, Y: f.Longitudinal.Reference, Line: true, Dashed: true},
+			{Name: "computed (sampled)", X: f.Longitudinal.Pos, Y: f.Longitudinal.Computed, Markers: true},
+		},
+	}
+	return c.WriteSVG(w)
+}
+
+// WriteTransverseSVG renders Figure 2's transverse force profile.
+func (f *Fig2Result) WriteTransverseSVG(w io.Writer) error {
+	c := &plot.Chart{
+		Title:  "Figure 2 (transverse): analytic vs computed collective force",
+		XLabel: "transverse position (m)",
+		YLabel: "force (model units)",
+		Series: []plot.Series{
+			{Name: "reference (continuum)", X: f.Transverse.Pos, Y: f.Transverse.Reference, Line: true, Dashed: true},
+			{Name: "computed (sampled)", X: f.Transverse.Pos, Y: f.Transverse.Computed, Markers: true},
+		},
+	}
+	return c.WriteSVG(w)
+}
+
+// WriteSVG renders Figure 3's log-log convergence chart with the fitted
+// 1/N reference line.
+func (f *Fig3Result) WriteSVG(w io.Writer) error {
+	xs := make([]float64, len(f.Points))
+	ys := make([]float64, len(f.Points))
+	for i, p := range f.Points {
+		xs[i] = p.Nppc
+		ys[i] = p.MSE
+	}
+	// A pure 1/N reference anchored at the first point.
+	refY := make([]float64, len(xs))
+	for i := range xs {
+		refY[i] = ys[0] * xs[0] / xs[i]
+	}
+	c := &plot.Chart{
+		Title:  fmt.Sprintf("Figure 3: force MSE vs particles per cell (slope %.2f)", f.Slope),
+		XLabel: "particles per cell",
+		YLabel: "mean-square error",
+		LogX:   true, LogY: true,
+		Series: []plot.Series{
+			{Name: "measured MSE", X: xs, Y: ys, Line: true, Markers: true},
+			{Name: "1/N reference", X: xs, Y: refY, Line: true, Dashed: true},
+		},
+	}
+	return c.WriteSVG(w)
+}
+
+// WriteSVG renders Figure 4's roofline: the attainable curve plus the
+// measured kernel points.
+func (f *Fig4Result) WriteSVG(w io.Writer) error {
+	aiMin, aiMax := 0.125, 64.0
+	for _, p := range f.Model.Points {
+		if p.AI*0.5 < aiMin {
+			aiMin = p.AI * 0.5
+		}
+		if p.AI*2 > aiMax {
+			aiMax = p.AI * 2
+		}
+	}
+	ai, gf := f.Model.Series(aiMin, aiMax, 64)
+	series := []plot.Series{
+		{Name: "attainable (ceilings)", X: ai, Y: gf, Line: true},
+	}
+	for _, p := range f.Model.Points {
+		series = append(series, plot.Series{
+			Name: p.Name, X: []float64{p.AI}, Y: []float64{p.Gflops}, Markers: true,
+		})
+	}
+	c := &plot.Chart{
+		Title:  "Figure 4: roofline, simulated Tesla K40",
+		XLabel: "arithmetic intensity (flops / DRAM byte)",
+		YLabel: "attainable Gflop/s",
+		LogX:   true, LogY: true,
+		Series: series,
+	}
+	return c.WriteSVG(w)
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"beamdyn/internal/gpusim"
+	"beamdyn/internal/kernels"
+)
+
+// CrossDeviceRow is one (device, kernel) measurement.
+type CrossDeviceRow struct {
+	Device  string
+	Kernel  KernelName
+	GPUTime float64
+	Gflops  float64
+	WEE     float64
+}
+
+// CrossDeviceResult compares the kernels across simulated GPU generations
+// to show the orderings are not a K40 artefact.
+type CrossDeviceResult struct {
+	Rows []CrossDeviceRow
+}
+
+// CrossDevice runs the three kernels on the K40 and P100 models.
+func CrossDevice(scale Scale, seed uint64) *CrossDeviceResult {
+	nx := 64
+	n := 100000
+	if scale == Quick {
+		nx, n = 32, 10000
+	}
+	res := &CrossDeviceResult{}
+	devices := []struct {
+		name string
+		cfg  gpusim.Config
+	}{
+		{"K40", gpusim.KeplerK40()},
+		{"P100", gpusim.PascalP100()},
+	}
+	for _, dev := range devices {
+		for _, name := range AllKernels {
+			var algo kernels.Algorithm
+			d := gpusim.New(dev.cfg)
+			switch name {
+			case TwoPhaseRP:
+				algo = kernels.NewTwoPhase(d)
+			case HeuristicRP:
+				algo = kernels.NewHeuristic(d)
+			default:
+				algo = kernels.NewPredictive(d)
+			}
+			cfg := baseConfig(n, nx, seed)
+			last, _, gpu := measureKernel(cfg, algo, 2)
+			res.Rows = append(res.Rows, CrossDeviceRow{
+				Device:  dev.name,
+				Kernel:  name,
+				GPUTime: gpu,
+				Gflops:  last.Metrics.Gflops(),
+				WEE:     last.Metrics.WarpExecutionEfficiency(),
+			})
+		}
+	}
+	return res
+}
+
+// Row returns the (device, kernel) row, or nil.
+func (r *CrossDeviceResult) Row(device string, k KernelName) *CrossDeviceRow {
+	for i := range r.Rows {
+		if r.Rows[i].Device == device && r.Rows[i].Kernel == k {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// String renders the comparison.
+func (r *CrossDeviceResult) String() string {
+	var b strings.Builder
+	header(&b, "Cross-device comparison (simulated)",
+		fmt.Sprintf("%-8s %-14s %12s %10s %8s", "Device", "Kernel", "GPU time(s)", "Gflop/s", "WEE%"))
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %-14s %12.3g %10.1f %8.1f\n",
+			row.Device, row.Kernel, row.GPUTime, row.Gflops, 100*row.WEE)
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV renders an experiment result as CSV for plotting frontends.
+// Supported result types: *Table1Result, *Table2Result, *Fig2Result,
+// *Fig3Result, *Fig4Result, *AblationResult.
+func WriteCSV(w io.Writer, result any) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	switch r := result.(type) {
+	case *Table1Result:
+		if err := cw.Write([]string{"grid", "kernel", "gflops", "ai", "wee", "gle", "l1"}); err != nil {
+			return err
+		}
+		for _, row := range r.Rows {
+			if err := cw.Write([]string{
+				strconv.Itoa(row.Grid), string(row.Kernel),
+				ftoa(row.Gflops), ftoa(row.AI),
+				ftoa(row.WarpExecEff), ftoa(row.GlobalLoadEff), ftoa(row.L1HitRate),
+			}); err != nil {
+				return err
+			}
+		}
+	case *Table2Result:
+		if err := cw.Write([]string{"particles", "grid", "twophase_gpu_s", "heuristic_gpu_s",
+			"predictive_gpu_s", "clustering_s", "predict_s", "train_s", "speedup"}); err != nil {
+			return err
+		}
+		for _, row := range r.Rows {
+			if err := cw.Write([]string{
+				strconv.Itoa(row.Particles), strconv.Itoa(row.Grid),
+				ftoa(row.TwoPhaseGPU), ftoa(row.HeuristicGPU), ftoa(row.PredictiveGPU),
+				ftoa(row.ClusteringTime), ftoa(row.PredictTime), ftoa(row.TrainTime),
+				ftoa(row.Speedup),
+			}); err != nil {
+				return err
+			}
+		}
+	case *Fig2Result:
+		if err := cw.Write([]string{"profile", "pos", "computed", "reference"}); err != nil {
+			return err
+		}
+		for i := range r.Longitudinal.Pos {
+			if err := cw.Write([]string{"longitudinal",
+				ftoa(r.Longitudinal.Pos[i]), ftoa(r.Longitudinal.Computed[i]),
+				ftoa(r.Longitudinal.Reference[i])}); err != nil {
+				return err
+			}
+		}
+		for i := range r.Transverse.Pos {
+			if err := cw.Write([]string{"transverse",
+				ftoa(r.Transverse.Pos[i]), ftoa(r.Transverse.Computed[i]),
+				ftoa(r.Transverse.Reference[i])}); err != nil {
+				return err
+			}
+		}
+	case *Fig3Result:
+		if err := cw.Write([]string{"n", "nppc", "mse"}); err != nil {
+			return err
+		}
+		for _, p := range r.Points {
+			if err := cw.Write([]string{strconv.Itoa(p.N), ftoa(p.Nppc), ftoa(p.MSE)}); err != nil {
+				return err
+			}
+		}
+	case *Fig4Result:
+		if err := cw.Write([]string{"kernel", "ai", "gflops", "attainable"}); err != nil {
+			return err
+		}
+		for _, p := range r.Model.Points {
+			if err := cw.Write([]string{p.Name, ftoa(p.AI), ftoa(p.Gflops),
+				ftoa(r.Model.Attainable(p.AI))}); err != nil {
+				return err
+			}
+		}
+	case *AblationResult:
+		if err := cw.Write([]string{"variant", "gpu_s", "wee", "fallback", "host_s"}); err != nil {
+			return err
+		}
+		for _, row := range r.Rows {
+			if err := cw.Write([]string{row.Variant, ftoa(row.GPUTime),
+				ftoa(row.WarpExecEff), strconv.Itoa(row.Fallback), ftoa(row.HostOverhead)}); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("experiments: no CSV rendering for %T", result)
+	}
+	return nil
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"beamdyn/internal/core"
+	"beamdyn/internal/kernels"
+)
+
+// SafetyNetRow is one time step of the safety-net study: how much of the
+// kernel's work fell back to adaptive quadrature because the forecast
+// partition missed the tolerance.
+type SafetyNetRow struct {
+	Step int
+	// Fallback is the number of panels handed to RP-ADAPTIVEQUADRATURE.
+	Fallback int
+	// Panels is the total panel count evaluated in the fixed phase.
+	Panels int
+	// Rate is Fallback / Panels.
+	Rate float64
+}
+
+// SafetyNetResult tracks the per-step fallback rate of one kernel.
+type SafetyNetResult struct {
+	Kernel KernelName
+	Rows   []SafetyNetRow
+}
+
+// SafetyNet measures the prediction quality of the Predictive kernel (or
+// the persistence quality of the Heuristic one) over a run: the paper's
+// claim is that after the bootstrap step the forecast partitions satisfy
+// the tolerance almost everywhere, leaving the adaptive safety net nearly
+// idle.
+func SafetyNet(name KernelName, steps int, scale Scale, seed uint64) *SafetyNetResult {
+	nx := 64
+	n := 100000
+	if scale == Quick {
+		nx, n = 32, 10000
+	}
+	cfg := baseConfig(n, nx, seed)
+	s := core.New(cfg)
+	s.Algo = NewAlgorithm(name)
+	s.Warmup()
+	res := &SafetyNetResult{Kernel: name}
+	for i := 0; i < steps; i++ {
+		s.Advance()
+		res.Rows = append(res.Rows, snapshotSafetyNet(s.Step-1, s.Last))
+	}
+	return res
+}
+
+func snapshotSafetyNet(step int, last *kernels.StepResult) SafetyNetRow {
+	panels := 0
+	for i := range last.Points {
+		if n := len(last.Points[i].Partition) - 1; n > 0 {
+			panels += n
+		}
+	}
+	row := SafetyNetRow{Step: step, Fallback: last.FallbackEntries, Panels: panels}
+	if panels > 0 {
+		row.Rate = float64(row.Fallback) / float64(panels)
+	}
+	return row
+}
+
+// FinalRate returns the steady-state fallback rate (last row).
+func (r *SafetyNetResult) FinalRate() float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	return r.Rows[len(r.Rows)-1].Rate
+}
+
+// String renders the study.
+func (r *SafetyNetResult) String() string {
+	var b strings.Builder
+	header(&b, fmt.Sprintf("Safety-net rate per step: %s", r.Kernel),
+		fmt.Sprintf("%6s %10s %10s %8s", "step", "fallback", "panels", "rate%"))
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d %10d %10d %8.2f\n", row.Step, row.Fallback, row.Panels, 100*row.Rate)
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table1Row is one (grid resolution, kernel) cell of the paper's Table I:
+// the profiler metrics of the compute-potentials kernels for a 1e5-particle
+// simulation.
+type Table1Row struct {
+	Grid   int
+	Kernel KernelName
+	// Gflops is the achieved double-precision throughput.
+	Gflops float64
+	// AI is the experimental arithmetic intensity (flops per DRAM byte).
+	AI float64
+	// WarpExecEff, GlobalLoadEff, L1HitRate are the profiler ratios, in
+	// [0, ...] with 1.0 = 100%.
+	WarpExecEff   float64
+	GlobalLoadEff float64
+	L1HitRate     float64
+}
+
+// Table1Result is the full table.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 reproduces Table I: Heuristic-RP vs Predictive-RP (plus the
+// Two-Phase-RP baseline for context) across grid resolutions with 1e5
+// particles.
+func Table1(scale Scale, seed uint64) *Table1Result {
+	res := &Table1Result{}
+	n := 100000
+	if scale == Quick {
+		n = 10000
+	}
+	for _, nx := range gridSizes(scale) {
+		for _, name := range AllKernels {
+			cfg := baseConfig(n, nx, seed)
+			last, _, _ := measureKernel(cfg, NewAlgorithm(name), 2)
+			m := last.Metrics
+			res.Rows = append(res.Rows, Table1Row{
+				Grid:          nx,
+				Kernel:        name,
+				Gflops:        m.Gflops(),
+				AI:            m.ArithmeticIntensity(),
+				WarpExecEff:   m.WarpExecutionEfficiency(),
+				GlobalLoadEff: m.GlobalLoadEfficiency(),
+				L1HitRate:     m.L1HitRate(),
+			})
+		}
+	}
+	return res
+}
+
+// String renders the table in the paper's layout.
+func (t *Table1Result) String() string {
+	var b strings.Builder
+	header(&b, "Table I: kernel metrics, N = 1e5 particles (simulated K40)",
+		fmt.Sprintf("%-10s %-14s %10s %8s %8s %8s %8s",
+			"Grid", "Kernel", "Gflops", "AI", "WEE%", "GLE%", "L1%"))
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-10s %-14s %10.1f %8.2f %8.1f %8.1f %8.1f\n",
+			fmt.Sprintf("%dx%d", r.Grid, r.Grid), r.Kernel,
+			r.Gflops, r.AI, 100*r.WarpExecEff, 100*r.GlobalLoadEff, 100*r.L1HitRate)
+	}
+	return b.String()
+}
+
+// Row returns the row for a grid/kernel pair, or nil.
+func (t *Table1Result) Row(grid int, k KernelName) *Table1Row {
+	for i := range t.Rows {
+		if t.Rows[i].Grid == grid && t.Rows[i].Kernel == k {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table2Row is one simulation configuration of the paper's Table II: the
+// per-step time of the compute-retarded-potentials stage under the
+// Heuristic-RP and Predictive-RP kernels, the Predictive kernel's host-side
+// overheads, and the speedup.
+type Table2Row struct {
+	Particles int
+	Grid      int
+	// HeuristicGPU and PredictiveGPU are simulated per-step kernel times
+	// in seconds.
+	HeuristicGPU  float64
+	PredictiveGPU float64
+	// TwoPhaseGPU is the [9] baseline for context.
+	TwoPhaseGPU float64
+	// ClusteringTime, PredictTime, TrainTime are the Predictive kernel's
+	// measured host-side overheads per step (wall seconds on the host
+	// running the reproduction, not simulated GPU time; see
+	// EXPERIMENTS.md on the unit mismatch).
+	ClusteringTime float64
+	PredictTime    float64
+	TrainTime      float64
+	// Speedup is HeuristicGPU / PredictiveGPU, the paper's headline
+	// column.
+	Speedup float64
+}
+
+// Table2Result is the full table.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 reproduces Table II: per-step compute-potentials time for
+// N x grid configurations, Heuristic vs Predictive (+ Two-Phase context),
+// with the Predictive kernel's clustering/learning overheads.
+func Table2(scale Scale, seed uint64) *Table2Result {
+	res := &Table2Result{}
+	for _, n := range particleCounts(scale) {
+		for _, nx := range gridSizes(scale) {
+			row := Table2Row{Particles: n, Grid: nx}
+			cfg := baseConfig(n, nx, seed)
+			_, _, tp := measureKernel(cfg, NewAlgorithm(TwoPhaseRP), 2)
+			row.TwoPhaseGPU = tp
+			_, _, hg := measureKernel(cfg, NewAlgorithm(HeuristicRP), 2)
+			row.HeuristicGPU = hg
+			_, host, pg := measureKernel(cfg, NewAlgorithm(PredictiveRP), 2)
+			row.PredictiveGPU = pg
+			row.ClusteringTime = host.Clustering / 2
+			row.PredictTime = host.Predict / 2
+			row.TrainTime = host.Train / 2
+			if pg > 0 {
+				row.Speedup = hg / pg
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// String renders the table in the paper's layout.
+func (t *Table2Result) String() string {
+	var b strings.Builder
+	header(&b, "Table II: compute-potentials stage time per step (simulated K40)",
+		fmt.Sprintf("%-9s %-9s %12s %12s %12s %10s %10s %10s %8s",
+			"N", "Grid", "TwoPhase(s)", "Heuristic(s)", "Predict.(s)",
+			"cluster(s)", "predict(s)", "train(s)", "speedup"))
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-9d %-9s %12.3g %12.3g %12.3g %10.3g %10.3g %10.3g %8.2f\n",
+			r.Particles, fmt.Sprintf("%dx%d", r.Grid, r.Grid),
+			r.TwoPhaseGPU, r.HeuristicGPU, r.PredictiveGPU,
+			r.ClusteringTime, r.PredictTime, r.TrainTime, r.Speedup)
+	}
+	return b.String()
+}
+
+// MaxSpeedup returns the largest Heuristic/Predictive speedup in the table
+// (the paper's "up to" number).
+func (t *Table2Result) MaxSpeedup() float64 {
+	var m float64
+	for _, r := range t.Rows {
+		if r.Speedup > m {
+			m = r.Speedup
+		}
+	}
+	return m
+}

@@ -1,0 +1,52 @@
+package gpusim
+
+import "testing"
+
+// BenchmarkReplayUniform measures trace+replay throughput for a uniform
+// compute kernel (the simulator's floor cost per lane instruction).
+func BenchmarkReplayUniform(b *testing.B) {
+	d := New(KeplerK40())
+	l := Launch{
+		Name: "bench-uniform", Blocks: 8, ThreadsPerBlock: 128,
+		Kernel: func(lane *Lane, blk, th int) {
+			for u := 0; u < 16; u++ {
+				lane.Begin(0)
+				lane.Flops(8)
+				lane.Load(uintptr((blk*128 + th) * 8))
+			}
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Run(l)
+	}
+}
+
+// BenchmarkReplayDivergent measures the cost with heavy trip-count
+// divergence (the two-phase refine pattern).
+func BenchmarkReplayDivergent(b *testing.B) {
+	d := New(KeplerK40())
+	l := Launch{
+		Name: "bench-divergent", Blocks: 8, ThreadsPerBlock: 128,
+		Kernel: func(lane *Lane, blk, th int) {
+			for u := 0; u <= th%29; u++ {
+				lane.Begin(0)
+				lane.Flops(8)
+				lane.Load(uintptr((blk*4096 + th*32 + u) * 8))
+			}
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Run(l)
+	}
+}
+
+// BenchmarkCacheAccess measures the raw cache-model lookup rate.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := newCache(48<<10, 128, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.access(uintptr(i % 1024))
+	}
+}

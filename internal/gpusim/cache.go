@@ -1,0 +1,71 @@
+package gpusim
+
+// cache is a set-associative LRU cache over simulated device addresses.
+// Lookups operate on whole lines; the coalescer converts lane-level
+// accesses into line addresses before consulting the hierarchy.
+type cache struct {
+	lineBytes uintptr
+	sets      int
+	ways      int
+	// tags[set*ways+way] holds the line address + 1 (0 means invalid).
+	tags []uintptr
+	// stamp[set*ways+way] is the LRU timestamp.
+	stamp []uint64
+	tick  uint64
+
+	hits, misses uint64
+}
+
+func newCache(totalBytes, lineBytes, ways int) *cache {
+	lines := totalBytes / lineBytes
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	return &cache{
+		lineBytes: uintptr(lineBytes),
+		sets:      sets,
+		ways:      ways,
+		tags:      make([]uintptr, sets*ways),
+		stamp:     make([]uint64, sets*ways),
+	}
+}
+
+// lineOf returns the line address containing addr.
+func (c *cache) lineOf(addr uintptr) uintptr { return addr / c.lineBytes }
+
+// access looks up the line containing addr, fills it on a miss, and
+// reports whether it hit.
+func (c *cache) access(line uintptr) bool {
+	c.tick++
+	set := int(line % uintptr(c.sets))
+	base := set * c.ways
+	tag := line + 1
+	var victim int
+	oldest := ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == tag {
+			c.stamp[i] = c.tick
+			c.hits++
+			return true
+		}
+		if c.stamp[i] < oldest {
+			oldest = c.stamp[i]
+			victim = i
+		}
+	}
+	c.misses++
+	c.tags[victim] = tag
+	c.stamp[victim] = c.tick
+	return false
+}
+
+// reset clears contents and counters.
+func (c *cache) reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamp[i] = 0
+	}
+	c.tick, c.hits, c.misses = 0, 0, 0
+}

@@ -1,0 +1,119 @@
+// Package gpusim is a trace-driven SIMT GPU simulator used as the stand-in
+// for the NVIDIA Tesla K40 of the paper (see DESIGN.md, substitution table).
+//
+// Kernels are ordinary Go functions executed once per simulated thread
+// ("lane"); each lane records a trace of work units (flops and global-memory
+// accesses). The simulator replays the traces of each 32-lane warp in SIMT
+// lockstep: lanes whose control flow diverges (different unit kinds, or
+// different trip counts) serialise exactly as divergent warps do on real
+// hardware, and the per-warp memory instructions pass through a coalescer
+// and a two-level set-associative LRU cache hierarchy down to a DRAM byte
+// counter. From the replay the simulator produces the NVIDIA-profiler-style
+// metrics the paper reports (warp execution efficiency, global load
+// efficiency, L1 hit rate, arithmetic intensity, Gflop/s) and a
+// roofline-consistent execution time.
+package gpusim
+
+// Config describes the simulated device.
+type Config struct {
+	// Name identifies the device in reports.
+	Name string
+	// WarpSize is the SIMT width (32 on all NVIDIA parts).
+	WarpSize int
+	// NumSMs is the number of streaming multiprocessors executing thread
+	// blocks concurrently.
+	NumSMs int
+	// MaxThreadsPerBlock bounds the block size a launch may request.
+	MaxThreadsPerBlock int
+	// ResidentWarps is the number of warps whose execution interleaves on
+	// one SM. Real SMs keep tens of warps in flight to hide latency; their
+	// combined working sets compete for the L1, which is what makes
+	// inter-thread locality matter. Higher values increase cache pressure
+	// realism at the cost of simulator memory.
+	ResidentWarps int
+
+	// L1Bytes, L1LineBytes, L1Ways describe the per-SM L1 data cache. The
+	// paper runs the K40 in "Caching mode" where global loads are cached
+	// in L1.
+	L1Bytes, L1LineBytes, L1Ways int
+	// L2Bytes, L2LineBytes, L2Ways describe the device-level L2. For
+	// deterministic parallel replay the simulator partitions the L2
+	// equally among SMs (NVIDIA's L2 is physically sliced per memory
+	// partition; equal sharing is the same approximation).
+	L2Bytes, L2LineBytes, L2Ways int
+
+	// PeakGflops is the peak double-precision throughput in Gflop/s.
+	PeakGflops float64
+	// DRAMBandwidthGBs is the theoretical peak memory bandwidth in GB/s.
+	DRAMBandwidthGBs float64
+	// MeasuredBandwidthGBs is the achievable bandwidth measured by the
+	// vendor benchmark (the paper measures it with NVIDIA's SDK rather
+	// than trusting the theoretical peak); the timing model uses this.
+	MeasuredBandwidthGBs float64
+	// L2BandwidthGBs is the aggregate L2-to-SM bandwidth used to charge
+	// time for L2 hits.
+	L2BandwidthGBs float64
+}
+
+// KeplerK40 returns the configuration of the NVIDIA Tesla K40 used for all
+// experiments in the paper: 15 SMX, 1.43 Tflop/s double precision, 288 GB/s
+// theoretical (about 193 GB/s measured with the SDK bandwidth test), 48 KB
+// L1 per SMX in the caching-mode split the paper uses, and 1.5 MB of L2.
+func KeplerK40() Config {
+	return Config{
+		Name:               "NVIDIA Tesla K40 (simulated)",
+		WarpSize:           32,
+		NumSMs:             15,
+		MaxThreadsPerBlock: 1024,
+		ResidentWarps:      8,
+
+		// Caching-mode split: 48 KB L1 / 16 KB shared per SMX.
+		L1Bytes: 48 << 10, L1LineBytes: 128, L1Ways: 6,
+		L2Bytes: 1536 << 10, L2LineBytes: 128, L2Ways: 16,
+
+		PeakGflops:           1430,
+		DRAMBandwidthGBs:     288,
+		MeasuredBandwidthGBs: 193,
+		L2BandwidthGBs:       1000,
+	}
+}
+
+// validate panics on impossible configurations; Config values are build-time
+// constants of an experiment, so misconfiguration is a programming error.
+func (c Config) validate() {
+	switch {
+	case c.WarpSize < 1:
+		panic("gpusim: warp size must be positive")
+	case c.NumSMs < 1:
+		panic("gpusim: need at least one SM")
+	case c.L1LineBytes < 8 || c.L2LineBytes < 8:
+		panic("gpusim: cache lines must hold at least one double")
+	case c.L1Bytes < c.L1LineBytes*c.L1Ways || c.L2Bytes < c.L2LineBytes*c.L2Ways:
+		panic("gpusim: cache smaller than one set")
+	case c.PeakGflops <= 0 || c.MeasuredBandwidthGBs <= 0 || c.L2BandwidthGBs <= 0:
+		panic("gpusim: throughput parameters must be positive")
+	}
+}
+
+// PascalP100 returns a simulated NVIDIA Tesla P100 (the Kepler K40's
+// successor generation): 56 SMs, 4.7 Tflop/s double precision, 732 GB/s
+// HBM2 (about 550 GB/s achievable), 24 KB L1 per SM and 4 MB of L2. The
+// cross-device experiment shows the kernels' relative ordering is not a
+// K40 artefact.
+func PascalP100() Config {
+	return Config{
+		Name:               "NVIDIA Tesla P100 (simulated)",
+		WarpSize:           32,
+		NumSMs:             56,
+		MaxThreadsPerBlock: 1024,
+		ResidentWarps:      8,
+
+		L1Bytes: 24 << 10, L1LineBytes: 128, L1Ways: 6,
+		L2Bytes: 4096 << 10, L2LineBytes: 128, L2Ways: 16,
+
+		PeakGflops:           4700,
+		DRAMBandwidthGBs:     732,
+		MeasuredBandwidthGBs: 550,
+		L2BandwidthGBs:       2500,
+	}
+}

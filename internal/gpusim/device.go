@@ -1,0 +1,337 @@
+package gpusim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kernel is a simulated GPU kernel body, invoked once per lane with the
+// lane's trace recorder. block and thread identify the lane's position in
+// the launch grid (blockIdx.x and threadIdx.x in CUDA terms).
+type Kernel func(lane *Lane, block, thread int)
+
+// Launch describes one kernel launch.
+type Launch struct {
+	// Name labels the launch in diagnostics.
+	Name string
+	// Blocks and ThreadsPerBlock define the launch grid.
+	Blocks, ThreadsPerBlock int
+	// Kernel is the lane body.
+	Kernel Kernel
+	// ColdCaches, when set, resets the cache hierarchy before the launch.
+	// By default caches stay warm across launches of a pipeline, as they
+	// do between dependent kernels on real hardware.
+	ColdCaches bool
+}
+
+// Device is a simulated GPU. A Device is safe for sequential use; a single
+// Run call parallelises internally across simulated SMs.
+type Device struct {
+	cfg      Config
+	sms      []*smState
+	profiler *Profiler
+}
+
+// smState is the replay state owned by one simulated SM. L2 is partitioned
+// equally among SMs so SM replays are independent and deterministic.
+type smState struct {
+	l1, l2 *cache
+	m      Metrics
+	lanes  []*Lane
+	// scratch for coalescing
+	addrs []uintptr
+	lines []uintptr
+}
+
+// New creates a device with the given configuration.
+func New(cfg Config) *Device {
+	cfg.validate()
+	if cfg.ResidentWarps < 1 {
+		cfg.ResidentWarps = 1
+	}
+	d := &Device{cfg: cfg, sms: make([]*smState, cfg.NumSMs)}
+	l2PerSM := cfg.L2Bytes / cfg.NumSMs
+	if l2PerSM < cfg.L2LineBytes*cfg.L2Ways {
+		l2PerSM = cfg.L2LineBytes * cfg.L2Ways
+	}
+	for i := range d.sms {
+		sm := &smState{
+			l1:    newCache(cfg.L1Bytes, cfg.L1LineBytes, cfg.L1Ways),
+			l2:    newCache(l2PerSM, cfg.L2LineBytes, cfg.L2Ways),
+			lanes: make([]*Lane, cfg.WarpSize*cfg.ResidentWarps),
+		}
+		for j := range sm.lanes {
+			sm.lanes[j] = &Lane{}
+		}
+		d.sms[i] = sm
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// ResetCaches clears the cache hierarchy (between independent experiments).
+func (d *Device) ResetCaches() {
+	for _, sm := range d.sms {
+		sm.l1.reset()
+		sm.l2.reset()
+	}
+}
+
+// Run executes the launch and returns its metrics. Thread blocks are
+// distributed round-robin over SMs (approximating the hardware block
+// scheduler); each SM replays its blocks warp by warp through its private
+// L1 and L2 partition.
+func (d *Device) Run(l Launch) Metrics {
+	if l.Blocks < 1 || l.ThreadsPerBlock < 1 {
+		panic(fmt.Sprintf("gpusim: empty launch %q (%d blocks x %d threads)", l.Name, l.Blocks, l.ThreadsPerBlock))
+	}
+	if l.ThreadsPerBlock > d.cfg.MaxThreadsPerBlock {
+		panic(fmt.Sprintf("gpusim: launch %q requests %d threads per block (max %d)",
+			l.Name, l.ThreadsPerBlock, d.cfg.MaxThreadsPerBlock))
+	}
+	if l.ColdCaches {
+		d.ResetCaches()
+	}
+	var wg sync.WaitGroup
+	for smID := range d.sms {
+		sm := d.sms[smID]
+		sm.m = Metrics{warpSize: d.cfg.WarpSize}
+		wg.Add(1)
+		go func(smID int, sm *smState) {
+			defer wg.Done()
+			for block := smID; block < l.Blocks; block += d.cfg.NumSMs {
+				d.runBlock(sm, l, block)
+			}
+		}(smID, sm)
+	}
+	wg.Wait()
+
+	total := Metrics{Kernels: 1, warpSize: d.cfg.WarpSize}
+	perSMPeak := d.cfg.PeakGflops * 1e9 / float64(d.cfg.NumSMs)
+	perSMBW := d.cfg.MeasuredBandwidthGBs * 1e9 / float64(d.cfg.NumSMs)
+	perSML2BW := d.cfg.L2BandwidthGBs * 1e9 / float64(d.cfg.NumSMs)
+	var worst float64
+	for _, sm := range d.sms {
+		m := &sm.m
+		// Counters accumulate directly; times are derived per SM below.
+		total.ThreadInsts += m.ThreadInsts
+		total.IssuedWarpInsts += m.IssuedWarpInsts
+		total.Flops += m.Flops
+		total.IssuedFlops += m.IssuedFlops
+		total.LoadReqBytes += m.LoadReqBytes
+		total.StoreReqBytes += m.StoreReqBytes
+		total.L1TransferBytes += m.L1TransferBytes
+		total.L1Accesses += m.L1Accesses
+		total.L1Hits += m.L1Hits
+		total.L2Accesses += m.L2Accesses
+		total.L2Hits += m.L2Hits
+		total.DRAMReadBytes += m.DRAMReadBytes
+		total.DRAMWriteBytes += m.DRAMWriteBytes
+
+		// Per-SM time model: issued flop slots retire at the SM's peak
+		// rate; memory time charges DRAM traffic against the SM's
+		// bandwidth share and L2 hits against the L2 bandwidth share.
+		// Compute and memory overlap, so the SM is busy for their max.
+		compute := float64(m.IssuedFlops*uint64(d.cfg.WarpSize)) / perSMPeak
+		l2HitBytes := m.L2Hits * uint64(d.cfg.L2LineBytes)
+		dram := float64(m.DRAMReadBytes+m.DRAMWriteBytes)/perSMBW +
+			float64(l2HitBytes)/perSML2BW
+		t := compute
+		if dram > t {
+			t = dram
+		}
+		if t > worst {
+			worst = t
+			total.ComputeTime = compute
+			total.MemTime = dram
+		}
+	}
+	// The kernel finishes when the busiest SM does.
+	total.Time = worst
+	if d.profiler != nil {
+		d.profiler.Record(l.Name, total)
+	}
+	return total
+}
+
+// runBlock traces and replays one thread block on an SM. Warps are
+// processed in windows of ResidentWarps whose unit execution interleaves
+// round-robin, so the window's combined working set contends for the SM's
+// caches the way concurrently resident warps do on hardware.
+func (d *Device) runBlock(sm *smState, l Launch, block int) {
+	ws := d.cfg.WarpSize
+	window := d.cfg.ResidentWarps
+	warps := (l.ThreadsPerBlock + ws - 1) / ws
+	for w0 := 0; w0 < warps; w0 += window {
+		w1 := w0 + window
+		if w1 > warps {
+			w1 = warps
+		}
+		// Trace every lane of the resident window.
+		var resident [][]*Lane
+		for w := w0; w < w1; w++ {
+			warpStart := w * ws
+			n := ws
+			if warpStart+n > l.ThreadsPerBlock {
+				n = l.ThreadsPerBlock - warpStart
+			}
+			lanes := sm.lanes[(w-w0)*ws : (w-w0)*ws+n]
+			for i := 0; i < n; i++ {
+				lane := lanes[i]
+				lane.reset(warpStart+i, block)
+				l.Kernel(lane, block, warpStart+i)
+				lane.closeUnit()
+			}
+			resident = append(resident, lanes)
+		}
+		// Interleave the warps' unit steps round-robin.
+		maxUnits := 0
+		for _, lanes := range resident {
+			for _, lane := range lanes {
+				if len(lane.units) > maxUnits {
+					maxUnits = len(lane.units)
+				}
+			}
+		}
+		for t := 0; t < maxUnits; t++ {
+			for _, lanes := range resident {
+				d.replayWarpStep(sm, lanes, t)
+			}
+		}
+	}
+}
+
+// replayWarpStep replays unit step t of one warp in SIMT lockstep,
+// charging instruction issue, divergence, coalescing, caches and DRAM.
+func (d *Device) replayWarpStep(sm *smState, lanes []*Lane, t int) {
+	var kinds []uint16
+	var members []*Lane
+	for _, lane := range lanes {
+		if t < len(lane.units) {
+			k := lane.units[t].kind
+			seen := false
+			for _, kk := range kinds {
+				if kk == k {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				kinds = append(kinds, k)
+			}
+		}
+	}
+	if len(kinds) == 0 {
+		return
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	// Divergent kinds at the same step serialise; each group issues
+	// independently with only its members active.
+	for _, k := range kinds {
+		members = members[:0]
+		for _, lane := range lanes {
+			if t < len(lane.units) && lane.units[t].kind == k {
+				members = append(members, lane)
+			}
+		}
+		d.replayGroup(sm, members, t)
+	}
+}
+
+// replayGroup issues the t-th unit of the member lanes as one lockstep
+// group.
+func (d *Device) replayGroup(sm *smState, members []*Lane, t int) {
+	m := &sm.m
+	var maxInsts, maxFlops, maxLoads, maxStores uint64
+	for _, lane := range members {
+		u := lane.units[t]
+		loads := uint64(u.loadEnd - u.loadStart)
+		stores := uint64(u.stEnd - u.stStart)
+		insts := uint64(u.flops) + loads + stores
+		m.ThreadInsts += insts
+		m.Flops += uint64(u.flops)
+		if insts > maxInsts {
+			maxInsts = insts
+		}
+		if uint64(u.flops) > maxFlops {
+			maxFlops = uint64(u.flops)
+		}
+		if loads > maxLoads {
+			maxLoads = loads
+		}
+		if stores > maxStores {
+			maxStores = stores
+		}
+	}
+	m.IssuedWarpInsts += maxInsts
+	m.IssuedFlops += maxFlops
+
+	// Loads: the i-th load of every member forms one warp memory
+	// instruction; unique L1 lines among active lanes become transactions.
+	for i := uint64(0); i < maxLoads; i++ {
+		sm.addrs = sm.addrs[:0]
+		for _, lane := range members {
+			u := lane.units[t]
+			if u.loadStart+uint32(i) < u.loadEnd {
+				sm.addrs = append(sm.addrs, lane.loads[u.loadStart+uint32(i)])
+			}
+		}
+		m.LoadReqBytes += 8 * uint64(len(sm.addrs))
+		d.accessLines(sm, sm.addrs, true)
+	}
+	for i := uint64(0); i < maxStores; i++ {
+		sm.addrs = sm.addrs[:0]
+		for _, lane := range members {
+			u := lane.units[t]
+			if u.stStart+uint32(i) < u.stEnd {
+				sm.addrs = append(sm.addrs, lane.stores[u.stStart+uint32(i)])
+			}
+		}
+		m.StoreReqBytes += 8 * uint64(len(sm.addrs))
+		d.accessLines(sm, sm.addrs, false)
+	}
+}
+
+// accessLines coalesces the lane addresses of one warp memory instruction
+// into unique cache lines and walks them through the hierarchy. Loads
+// consult L1 then L2 then DRAM; stores write through to DRAM at line
+// granularity (non-allocating, like Kepler's global store path).
+func (d *Device) accessLines(sm *smState, addrs []uintptr, isLoad bool) {
+	if len(addrs) == 0 {
+		return
+	}
+	line := uintptr(d.cfg.L1LineBytes)
+	sm.lines = sm.lines[:0]
+	for _, a := range addrs {
+		sm.lines = append(sm.lines, a/line)
+	}
+	sort.Slice(sm.lines, func(i, j int) bool { return sm.lines[i] < sm.lines[j] })
+	uniq := sm.lines[:0]
+	for i, ln := range sm.lines {
+		if i == 0 || ln != uniq[len(uniq)-1] {
+			uniq = append(uniq, ln)
+		}
+	}
+	m := &sm.m
+	if isLoad {
+		m.L1TransferBytes += uint64(len(uniq)) * uint64(d.cfg.L1LineBytes)
+		for _, ln := range uniq {
+			m.L1Accesses++
+			if sm.l1.access(ln) {
+				m.L1Hits++
+				continue
+			}
+			m.L2Accesses++
+			if sm.l2.access(ln) {
+				m.L2Hits++
+				continue
+			}
+			m.DRAMReadBytes += uint64(d.cfg.L2LineBytes)
+		}
+	} else {
+		m.DRAMWriteBytes += uint64(len(uniq)) * uint64(d.cfg.L2LineBytes)
+	}
+}

@@ -1,0 +1,137 @@
+package gpusim
+
+import "fmt"
+
+// Metrics aggregates the profiler counters of one or more kernel launches.
+// The derived quantities follow the definitions quoted in Section V of the
+// paper (NVIDIA profiler metric semantics).
+type Metrics struct {
+	// Kernels is the number of launches aggregated.
+	Kernels int
+
+	// ThreadInsts counts instructions executed by active lanes;
+	// IssuedWarpInsts counts warp-level issue slots. Their ratio gives
+	// warp execution efficiency.
+	ThreadInsts     uint64
+	IssuedWarpInsts uint64
+
+	// Flops counts useful double-precision operations; IssuedFlops counts
+	// the flop slots issued including divergence waste (IssuedFlops >=
+	// Flops/WarpSize reached only at full warp occupancy).
+	Flops       uint64
+	IssuedFlops uint64
+
+	// LoadReqBytes / StoreReqBytes are the bytes requested by lanes;
+	// L1TransferBytes are the bytes moved by load transactions at L1-line
+	// granularity (the denominator of global load efficiency).
+	LoadReqBytes    uint64
+	StoreReqBytes   uint64
+	L1TransferBytes uint64
+
+	// Cache counters for global loads.
+	L1Accesses, L1Hits uint64
+	L2Accesses, L2Hits uint64
+
+	// DRAM traffic in bytes.
+	DRAMReadBytes  uint64
+	DRAMWriteBytes uint64
+
+	// ComputeTime and MemTime are the per-component busy times of the
+	// busiest SM; Time is the modelled kernel time (their max, summed
+	// across launches).
+	ComputeTime float64
+	MemTime     float64
+	Time        float64
+
+	warpSize int
+}
+
+// Add accumulates o into m (for multi-launch pipelines).
+func (m *Metrics) Add(o Metrics) {
+	m.Kernels += o.Kernels
+	m.ThreadInsts += o.ThreadInsts
+	m.IssuedWarpInsts += o.IssuedWarpInsts
+	m.Flops += o.Flops
+	m.IssuedFlops += o.IssuedFlops
+	m.LoadReqBytes += o.LoadReqBytes
+	m.StoreReqBytes += o.StoreReqBytes
+	m.L1TransferBytes += o.L1TransferBytes
+	m.L1Accesses += o.L1Accesses
+	m.L1Hits += o.L1Hits
+	m.L2Accesses += o.L2Accesses
+	m.L2Hits += o.L2Hits
+	m.DRAMReadBytes += o.DRAMReadBytes
+	m.DRAMWriteBytes += o.DRAMWriteBytes
+	m.ComputeTime += o.ComputeTime
+	m.MemTime += o.MemTime
+	m.Time += o.Time
+	if m.warpSize == 0 {
+		m.warpSize = o.warpSize
+	}
+}
+
+// WarpExecutionEfficiency is the ratio of average active threads per warp
+// to the warp size, in [0, 1].
+func (m Metrics) WarpExecutionEfficiency() float64 {
+	if m.IssuedWarpInsts == 0 || m.warpSize == 0 {
+		return 0
+	}
+	return float64(m.ThreadInsts) / float64(m.IssuedWarpInsts*uint64(m.warpSize))
+}
+
+// GlobalLoadEfficiency is the ratio of bytes requested by global loads to
+// bytes transferred by load transactions. Values above 1 indicate
+// broadcast loads (several lanes reading the same address), exactly as the
+// paper observes for the Predictive-RP kernel.
+func (m Metrics) GlobalLoadEfficiency() float64 {
+	if m.L1TransferBytes == 0 {
+		return 0
+	}
+	return float64(m.LoadReqBytes) / float64(m.L1TransferBytes)
+}
+
+// L1HitRate is the global-load hit rate of the L1 cache.
+func (m Metrics) L1HitRate() float64 {
+	if m.L1Accesses == 0 {
+		return 0
+	}
+	return float64(m.L1Hits) / float64(m.L1Accesses)
+}
+
+// L2HitRate is the hit rate of the L2 cache (accesses that missed L1).
+func (m Metrics) L2HitRate() float64 {
+	if m.L2Accesses == 0 {
+		return 0
+	}
+	return float64(m.L2Hits) / float64(m.L2Accesses)
+}
+
+// DRAMBytes is the total device-memory traffic.
+func (m Metrics) DRAMBytes() uint64 { return m.DRAMReadBytes + m.DRAMWriteBytes }
+
+// ArithmeticIntensity is flops per DRAM byte accessed — the x axis of the
+// roofline model.
+func (m Metrics) ArithmeticIntensity() float64 {
+	if b := m.DRAMBytes(); b > 0 {
+		return float64(m.Flops) / float64(b)
+	}
+	return 0
+}
+
+// Gflops is the achieved double-precision throughput in Gflop/s over the
+// modelled execution time.
+func (m Metrics) Gflops() float64 {
+	if m.Time <= 0 {
+		return 0
+	}
+	return float64(m.Flops) / m.Time / 1e9
+}
+
+// String renders a compact profiler-style report.
+func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"kernels=%d time=%.4gs gflops=%.1f ai=%.3g wee=%.1f%% gle=%.1f%% l1=%.1f%% l2=%.1f%% dram=%.3gMB",
+		m.Kernels, m.Time, m.Gflops(), m.ArithmeticIntensity(),
+		100*m.WarpExecutionEfficiency(), 100*m.GlobalLoadEfficiency(),
+		100*m.L1HitRate(), 100*m.L2HitRate(), float64(m.DRAMBytes())/1e6)
+}

@@ -1,0 +1,109 @@
+package gpusim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Profiler accumulates per-launch-name metrics across a run, the way
+// nvprof's summary mode aggregates kernel statistics. Attach one to a
+// device with AttachProfiler; every Run is recorded under its Launch.Name.
+type Profiler struct {
+	mu      sync.Mutex
+	entries map[string]*ProfileEntry
+	order   []string
+}
+
+// ProfileEntry aggregates all launches that shared a name.
+type ProfileEntry struct {
+	Name     string
+	Launches int
+	Metrics  Metrics
+	// MinTime and MaxTime are per-launch simulated-time extremes.
+	MinTime, MaxTime float64
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{entries: make(map[string]*ProfileEntry)}
+}
+
+// Record adds one launch's metrics under name.
+func (p *Profiler) Record(name string, m Metrics) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[name]
+	if !ok {
+		e = &ProfileEntry{Name: name, MinTime: m.Time, MaxTime: m.Time}
+		p.entries[name] = e
+		p.order = append(p.order, name)
+	}
+	e.Launches++
+	e.Metrics.Add(m)
+	if m.Time < e.MinTime {
+		e.MinTime = m.Time
+	}
+	if m.Time > e.MaxTime {
+		e.MaxTime = m.Time
+	}
+}
+
+// Entries returns the aggregated entries sorted by total simulated time,
+// descending — the hot-kernel view.
+func (p *Profiler) Entries() []*ProfileEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*ProfileEntry, 0, len(p.entries))
+	for _, name := range p.order {
+		out = append(out, p.entries[name])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Metrics.Time > out[j].Metrics.Time })
+	return out
+}
+
+// TotalTime returns the summed simulated time of every recorded launch.
+func (p *Profiler) TotalTime() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var t float64
+	for _, e := range p.entries {
+		t += e.Metrics.Time
+	}
+	return t
+}
+
+// Reset clears all recorded entries.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries = make(map[string]*ProfileEntry)
+	p.order = nil
+}
+
+// String renders the nvprof-style summary table.
+func (p *Profiler) String() string {
+	entries := p.Entries()
+	total := p.TotalTime()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%7s %9s %12s %10s %8s %8s %8s %8s  %s\n",
+		"time%", "launches", "total(s)", "Gflop/s", "AI", "WEE%", "GLE%", "L1%", "kernel")
+	for _, e := range entries {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * e.Metrics.Time / total
+		}
+		fmt.Fprintf(&b, "%6.1f%% %9d %12.4g %10.1f %8.2f %8.1f %8.1f %8.1f  %s\n",
+			pct, e.Launches, e.Metrics.Time, e.Metrics.Gflops(),
+			e.Metrics.ArithmeticIntensity(),
+			100*e.Metrics.WarpExecutionEfficiency(),
+			100*e.Metrics.GlobalLoadEfficiency(),
+			100*e.Metrics.L1HitRate(), e.Name)
+	}
+	return b.String()
+}
+
+// AttachProfiler makes the device record every launch into p. Passing nil
+// detaches.
+func (d *Device) AttachProfiler(p *Profiler) { d.profiler = p }

@@ -1,0 +1,54 @@
+package gpusim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfilerAggregatesLaunches(t *testing.T) {
+	d := New(testConfig())
+	p := NewProfiler()
+	d.AttachProfiler(p)
+	k := func(l *Lane, b, th int) { l.Begin(0); l.Flops(10); l.Load(uintptr(th * 8)) }
+	d.Run(Launch{Name: "alpha", Blocks: 1, ThreadsPerBlock: 4, Kernel: k})
+	d.Run(Launch{Name: "alpha", Blocks: 1, ThreadsPerBlock: 4, Kernel: k})
+	d.Run(Launch{Name: "beta", Blocks: 2, ThreadsPerBlock: 8, Kernel: k})
+
+	entries := p.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	byName := map[string]*ProfileEntry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	if byName["alpha"].Launches != 2 || byName["beta"].Launches != 1 {
+		t.Fatalf("launch counts wrong: %+v", byName)
+	}
+	if byName["alpha"].Metrics.Flops != 2*4*10 {
+		t.Fatalf("alpha flops = %d", byName["alpha"].Metrics.Flops)
+	}
+	if byName["alpha"].MinTime <= 0 || byName["alpha"].MaxTime < byName["alpha"].MinTime {
+		t.Fatal("time extremes inconsistent")
+	}
+	if p.TotalTime() <= 0 {
+		t.Fatal("no total time")
+	}
+	// Entries sort by total time descending.
+	if entries[0].Metrics.Time < entries[1].Metrics.Time {
+		t.Fatal("entries not sorted by time")
+	}
+	s := p.String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "beta") || !strings.Contains(s, "kernel") {
+		t.Fatalf("summary incomplete:\n%s", s)
+	}
+	p.Reset()
+	if len(p.Entries()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	d.AttachProfiler(nil)
+	d.Run(Launch{Name: "gamma", Blocks: 1, ThreadsPerBlock: 1, Kernel: k})
+	if len(p.Entries()) != 0 {
+		t.Fatal("detached profiler still recording")
+	}
+}

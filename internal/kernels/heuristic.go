@@ -1,0 +1,109 @@
+package kernels
+
+import (
+	"beamdyn/internal/access"
+	"beamdyn/internal/gpusim"
+	"beamdyn/internal/grid"
+	"beamdyn/internal/retard"
+)
+
+// Heuristic implements the Heuristic-RP kernel of [10], the fastest prior
+// method, built on two heuristics:
+//
+//  1. Data reuse — grid points are grouped into spatial tiles so the
+//     threads of a block read overlapping integrand stencils (locality
+//     between cache-sharing threads), and each point reuses the partition
+//     observed at the previous time step as its initial partition
+//     (temporal locality of the access patterns).
+//  2. Workload balance — refinement intervals are sorted by estimated cost
+//     so warps process similarly sized work items.
+//
+// Unlike the Predictive kernel it has no forecast of how patterns evolve:
+// when the bunch moves, stale partitions fail the tolerance and the work
+// spills into adaptive refinement rounds.
+type Heuristic struct {
+	Dev *gpusim.Device
+	// ThreadsPerBlock is the launch block size (default 256).
+	ThreadsPerBlock int
+	// TileW, TileH are the spatial tile dimensions (default 32x8).
+	TileW, TileH int
+	// PanelsPerSub seeds the first step's partition (default 2).
+	PanelsPerSub int
+
+	prevPat   []access.Pattern
+	prevNX    int
+	prevNY    int
+	partAddrs []uintptr
+}
+
+// NewHeuristic returns the kernel with the configuration of [10]: 32x4
+// spatial tiles (fine enough for SM load balance, wide enough for warp
+// coalescing).
+func NewHeuristic(dev *gpusim.Device) *Heuristic {
+	return &Heuristic{Dev: dev, ThreadsPerBlock: 256, TileW: 32, TileH: 4, PanelsPerSub: 2}
+}
+
+// Name implements Algorithm.
+func (h *Heuristic) Name() string { return "Heuristic-RP" }
+
+// Reset implements Algorithm, dropping the remembered patterns.
+func (h *Heuristic) Reset() { h.prevPat, h.prevNX, h.prevNY = nil, 0, 0 }
+
+// Step implements Algorithm.
+func (h *Heuristic) Step(p *retard.Problem, target *grid.Grid, comp int) *StepResult {
+	points := buildPoints(p, target)
+	res := &StepResult{}
+	if h.prevNX != target.NX || h.prevNY != target.NY {
+		h.prevPat = nil
+	}
+
+	// Temporal-reuse heuristic: each point's partition is rebuilt from the
+	// access pattern observed at the previous time step (persistence
+	// forecast), or the coarse uniform seed on the first step. Partitions
+	// live at per-point device addresses, so a warp's breakpoint loads
+	// scatter (one array per lane) — the memory cost the Predictive
+	// kernel's shared merged partitions avoid.
+	parts := make([][]float64, len(points))
+	h.partAddrs = make([]uintptr, len(points))
+	var cursor uintptr
+	for i := range points {
+		if h.prevPat != nil && len(h.prevPat[i]) == p.NumSub() {
+			parts[i] = h.prevPat[i].UniformPartition(p.SubWidth(), points[i].R)
+		} else {
+			parts[i] = uniformCoarsePartition(p, points[i].R, h.PanelsPerSub)
+		}
+		h.partAddrs[i] = RegionParts + cursor
+		cursor += uintptr(len(parts[i])) * 8
+	}
+
+	spec := fixedPhaseSpec{
+		name:            "heuristic/reuse",
+		blocks:          tileBlocks(target.NX, target.NY, h.TileW, h.TileH),
+		threadsPerBlock: h.TileW * h.TileH,
+		partFor: func(i, _ int) ([]float64, uintptr) {
+			return parts[i], h.partAddrs[i]
+		},
+	}
+	m, entries := fixedPhase(h.Dev, p, points, spec)
+	res.Metrics.Add(m)
+	res.Fixed = m
+	res.Launches++
+	res.FallbackEntries = len(entries)
+	res.FallbackBySubregion = tallySubregions(p, entries)
+
+	rm, launches := adaptivePhase(h.Dev, p, points, entries, h.ThreadsPerBlock, true, "heuristic/refine")
+	res.Metrics.Add(rm)
+	res.Adaptive = rm
+	res.Launches += launches
+
+	finishPatterns(p, points)
+	storeResults(points, target, comp)
+
+	h.prevPat = make([]access.Pattern, len(points))
+	for i := range points {
+		h.prevPat[i] = points[i].Pattern
+	}
+	h.prevNX, h.prevNY = target.NX, target.NY
+	res.Points = points
+	return res
+}

@@ -1,0 +1,307 @@
+// Package kernels implements the three parallel algorithms the paper
+// compares for the compute-retarded-potentials stage, all running on the
+// simulated GPU of package gpusim:
+//
+//   - TwoPhase — the globally adaptive parallel quadrature of [9]
+//     ("Two-Phase-RP kernel"): a uniform evaluation phase followed by
+//     iterative refinement rounds over a compacted global interval list.
+//   - Heuristic — the cache-aware heuristics of [10] ("Heuristic-RP
+//     kernel"): temporal reuse of the previous step's partitions, spatial
+//     tiling for data locality, and cost-sorted workload balancing.
+//   - Predictive — this paper's Algorithm 1 ("Predictive-RP kernel"):
+//     kNN-forecast access patterns, RP-CLUSTERING of grid points by
+//     predicted pattern (warp-aligned contiguous segments by default,
+//     literal k-means as an option), per-cluster merged partitions for
+//     uniform control flow, and an adaptive safety net that also feeds
+//     online learning.
+//
+// All three produce identical potentials to the sequential reference
+// within the error tolerance; they differ in simulated-GPU behaviour
+// (divergence, locality, wasted work), which is exactly what the paper's
+// Tables I-II and Figure 4 measure.
+package kernels
+
+import (
+	"math"
+	"sort"
+
+	"beamdyn/internal/access"
+	"beamdyn/internal/gpusim"
+	"beamdyn/internal/grid"
+	"beamdyn/internal/quadrature"
+	"beamdyn/internal/retard"
+)
+
+// Simulated device address-space regions for kernel-visible host arrays.
+// Grid history occupies low addresses (assigned by grid.History); these
+// regions hold the auxiliary arrays the kernels read and write.
+const (
+	// RegionPoints holds the per-grid-point 7-tuple objects of Algorithm 1
+	// (64 bytes per point).
+	RegionPoints uintptr = 1 << 32
+	// RegionParts holds partition arrays (predicted, merged or previous).
+	RegionParts uintptr = 1 << 33
+	// RegionWork holds refinement work-list entries (32 bytes per entry).
+	RegionWork uintptr = 1 << 34
+)
+
+// Unit kinds used by the kernels; divergent kinds at the same trace step
+// serialise in the warp replay.
+const (
+	kindInit = iota
+	kindPanel
+	kindSkip
+	kindFinish
+	kindRefine
+)
+
+// Point is the host-side mirror of the paper's grid-point object: position,
+// integral and error estimates, access pattern and partition.
+type Point struct {
+	X, Y float64
+	// R is the irregular integration limit R(p).
+	R float64
+	// I and Err accumulate the rp-integral and error estimates.
+	I, Err float64
+	// Pattern and Partition are the observed access pattern and the
+	// partition used, updated as Algorithm 1 lines 20-21 prescribe.
+	Pattern   access.Pattern
+	Partition []float64
+}
+
+// pointAddr returns the simulated address of field f of point i.
+func pointAddr(i, f int) uintptr { return RegionPoints + uintptr(i)*64 + uintptr(f)*8 }
+
+// workAddr returns the simulated address of field f of work entry i.
+func workAddr(i, f int) uintptr { return RegionWork + uintptr(i)*32 + uintptr(f)*8 }
+
+// HostTimes records the wall-clock host-side overheads of one step, the
+// quantities reported in Table II alongside the simulated GPU time.
+type HostTimes struct {
+	// Clustering is the RP-CLUSTERING (k-means) time.
+	Clustering float64
+	// Predict is the forecast + partition-transform time.
+	Predict float64
+	// Train is the ONLINE-LEARNING time.
+	Train float64
+}
+
+// Overhead is the total host-side overhead.
+func (h HostTimes) Overhead() float64 { return h.Clustering + h.Predict + h.Train }
+
+// StepResult is the outcome of one compute-potentials step executed by a
+// kernel.
+type StepResult struct {
+	// Points holds the final per-point state in row-major target order.
+	Points []Point
+	// Metrics aggregates the simulated-GPU profiler counters of every
+	// launch of the step.
+	Metrics gpusim.Metrics
+	// Host records host-side overhead wall times.
+	Host HostTimes
+	// FallbackEntries counts the subregions that failed the tolerance in
+	// the predicted/fixed phase and went to adaptive refinement.
+	FallbackEntries int
+	// Launches is the number of simulated kernel launches.
+	Launches int
+	// Fixed and Adaptive break Metrics down by phase: the fixed-partition
+	// pass and the adaptive safety net.
+	Fixed, Adaptive gpusim.Metrics
+	// FallbackBySubregion counts the fallback entries per radial
+	// subregion (diagnostics for prediction quality).
+	FallbackBySubregion []int
+}
+
+// tallySubregions histograms work entries by radial subregion.
+func tallySubregions(p *retard.Problem, entries []workEntry) []int {
+	out := make([]int, p.NumSub())
+	sw := p.SubWidth()
+	for _, e := range entries {
+		j := int(0.5 * (e.a + e.b) / sw)
+		if j >= 0 && j < len(out) {
+			out[j]++
+		}
+	}
+	return out
+}
+
+// Algorithm is the common interface of the three kernels: evaluate the
+// rp-integral at every point of the target grid for the problem's current
+// step, writing potentials into component comp of target.
+type Algorithm interface {
+	// Name returns the kernel's paper name.
+	Name() string
+	// Step runs one compute-potentials step.
+	Step(p *retard.Problem, target *grid.Grid, comp int) *StepResult
+	// Reset clears cross-step state (between independent experiments).
+	Reset()
+}
+
+// gridCenter returns the physical centre of the target grid, the origin of
+// the bunch-frame coordinates used as prediction features.
+func gridCenter(target *grid.Grid) (cx, cy float64) {
+	x0, y0, x1, y1 := target.Bounds()
+	return 0.5 * (x0 + x1), 0.5 * (y0 + y1)
+}
+
+// buildPoints constructs the per-point task list for a target grid.
+func buildPoints(p *retard.Problem, target *grid.Grid) []Point {
+	pts := make([]Point, target.NX*target.NY)
+	for iy := 0; iy < target.NY; iy++ {
+		for ix := 0; ix < target.NX; ix++ {
+			x, y := target.Point(ix, iy)
+			i := iy*target.NX + ix
+			pts[i] = Point{X: x, Y: y, R: p.R(x, y)}
+		}
+	}
+	return pts
+}
+
+// storeResults writes the accumulated potentials into the target grid.
+func storeResults(points []Point, target *grid.Grid, comp int) {
+	for i := range points {
+		target.Set(i%target.NX, i/target.NX, comp, points[i].I)
+	}
+}
+
+// workEntry is one refinement task: integrate f over [a, b] for point pt
+// to tolerance tol.
+type workEntry struct {
+	a, b float64
+	tol  float64
+	pt   int
+}
+
+// adaptiveResult is the per-entry output slot of the adaptive phase.
+type adaptiveResult struct {
+	i, err float64
+	bounds []float64
+}
+
+// adaptivePhase is RP-ADAPTIVEQUADRATURE: one launch with one thread per
+// work entry, each thread running the full recursive adaptive Simpson
+// algorithm for its interval (depth-first via an explicit stack, as the
+// CUDA implementation of [9] does). Every refinement step is a trace unit,
+// so threads whose intervals need different refinement depths diverge —
+// the control-flow irregularity of adaptive quadrature the paper's Section
+// III.C.2 describes.
+//
+// The sortByCost flag enables [10]'s workload-balance heuristic of
+// grouping intervals of similar estimated cost into the same warp.
+// Results accumulate into points (integral, error, partition breakpoints).
+func adaptivePhase(dev *gpusim.Device, p *retard.Problem, points []Point, entries []workEntry, threadsPerBlock int, sortByCost bool, name string) (gpusim.Metrics, int) {
+	if len(entries) == 0 {
+		return gpusim.Metrics{}, 0
+	}
+	if sortByCost {
+		sort.Slice(entries, func(i, j int) bool {
+			wi := entries[i].b - entries[i].a
+			wj := entries[j].b - entries[j].a
+			if wi != wj {
+				return wi > wj
+			}
+			return entries[i].pt < entries[j].pt
+		})
+	}
+	results := make([]adaptiveResult, len(entries))
+	maxDepth := p.MaxDepth
+	blocks := (len(entries) + threadsPerBlock - 1) / threadsPerBlock
+	m := dev.Run(gpusim.Launch{
+		Name:            name,
+		Blocks:          blocks,
+		ThreadsPerBlock: threadsPerBlock,
+		Kernel: func(lane *gpusim.Lane, block, thread int) {
+			idx := block*threadsPerBlock + thread
+			if idx >= len(entries) {
+				return
+			}
+			e := entries[idx]
+			lane.Begin(kindInit)
+			for f := 0; f < 4; f++ {
+				lane.Load(workAddr(idx, f))
+			}
+			lane.Load(pointAddr(e.pt, 0))
+			lane.Load(pointAddr(e.pt, 1))
+			lane.Flops(6)
+			f := p.Integrand(points[e.pt].X, points[e.pt].Y, lane)
+			res := &results[idx]
+
+			// Memoized adaptive Simpson: each frame carries its endpoint
+			// and midpoint integrand values plus its coarse estimate, so a
+			// refinement step evaluates only the two new quarter points —
+			// the evaluation reuse every serious adaptive implementation
+			// (including [9]'s CUDA code) performs.
+			type frame struct {
+				a, b, tol  float64
+				fa, fm, fb float64
+				coarse     float64
+				depth      int
+			}
+			m0 := 0.5 * (e.a + e.b)
+			fa, fm, fb := f(e.a), f(m0), f(e.b)
+			lane.Flops(4)
+			stack := []frame{{
+				a: e.a, b: e.b, tol: e.tol,
+				fa: fa, fm: fm, fb: fb,
+				coarse: (e.b - e.a) / 6 * (fa + 4*fm + fb),
+			}}
+			for len(stack) > 0 {
+				fr := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				lane.Begin(kindRefine)
+				mid := 0.5 * (fr.a + fr.b)
+				lm, rm := 0.5*(fr.a+mid), 0.5*(mid+fr.b)
+				flm, frm := f(lm), f(rm)
+				h := fr.b - fr.a
+				left := h / 12 * (fr.fa + 4*flm + fr.fm)
+				right := h / 12 * (fr.fm + 4*frm + fr.fb)
+				errEst := math.Abs(left+right-fr.coarse) / 15
+				lane.Flops(16)
+				if errEst <= fr.tol || fr.depth >= maxDepth {
+					res.i += left + right + (left+right-fr.coarse)/15
+					res.err += errEst
+					res.bounds = append(res.bounds, fr.a, fr.b)
+					continue
+				}
+				stack = append(stack,
+					frame{a: mid, b: fr.b, tol: fr.tol / 2, fa: fr.fm, fm: frm, fb: fr.fb, coarse: right, depth: fr.depth + 1},
+					frame{a: fr.a, b: mid, tol: fr.tol / 2, fa: fr.fa, fm: flm, fb: fr.fm, coarse: left, depth: fr.depth + 1})
+			}
+			lane.Begin(kindFinish)
+			for f := 0; f < 3; f++ {
+				lane.Store(workAddr(idx, f))
+			}
+			lane.Flops(2)
+		},
+	})
+	for i, e := range entries {
+		r := &results[i]
+		pt := &points[e.pt]
+		pt.I += r.i
+		pt.Err += r.err
+		sort.Float64s(r.bounds)
+		pt.Partition = quadrature.MergeLists(pt.Partition, r.bounds, 1e-18)
+	}
+	return m, 1
+}
+
+// finishPatterns derives each point's observed access pattern from its
+// final partition (Algorithm 1 line 20: patterns observed during the
+// computation, including the adaptive additions). Panels whose angular
+// window was empty performed no grid references and do not count.
+func finishPatterns(p *retard.Problem, points []Point) {
+	for i := range points {
+		points[i].Pattern = p.ObservedPattern(points[i].X, points[i].Y, points[i].Partition)
+	}
+}
+
+// uniformCoarsePartition is the first-step partition when no history or
+// prediction exists: panelsPerSub panels per subregion up to R.
+func uniformCoarsePartition(p *retard.Problem, r float64, panelsPerSub int) []float64 {
+	n := p.NumSub()
+	pat := make(access.Pattern, n)
+	for j := range pat {
+		pat[j] = float64(panelsPerSub)
+	}
+	return pat.UniformPartition(p.SubWidth(), r)
+}

@@ -1,0 +1,97 @@
+package kernels
+
+import (
+	"fmt"
+
+	"beamdyn/internal/grid"
+	"beamdyn/internal/retard"
+)
+
+// MultiGPU runs a compute-potentials kernel data-parallel across several
+// simulated devices: the target grid's rows are split into contiguous
+// bands, one per device, and every device evaluates its band against the
+// shared (read-only) moment-grid history. This is the strong-scaling
+// arrangement the multi-GPU predecessor work of [10] uses — the
+// rp-integral is embarrassingly parallel over grid points, so no halo
+// exchange is needed; the only multi-device cost is the broadcast of the
+// moment grids, which the simulator's per-device caches already model.
+//
+// The aggregated StepResult sums the work counters across devices and
+// reports the wall time of the slowest device (devices run concurrently).
+type MultiGPU struct {
+	// Algos holds one kernel per device, each bound to its own Device.
+	Algos []Algorithm
+}
+
+// NewMultiGPU wraps per-device kernels built by mk (invoked once per
+// device).
+func NewMultiGPU(devices int, mk func(device int) Algorithm) *MultiGPU {
+	if devices < 1 {
+		panic(fmt.Sprintf("kernels: %d devices", devices))
+	}
+	m := &MultiGPU{}
+	for d := 0; d < devices; d++ {
+		m.Algos = append(m.Algos, mk(d))
+	}
+	return m
+}
+
+// Name implements Algorithm.
+func (m *MultiGPU) Name() string {
+	return fmt.Sprintf("%s x%d", m.Algos[0].Name(), len(m.Algos))
+}
+
+// Reset implements Algorithm.
+func (m *MultiGPU) Reset() {
+	for _, a := range m.Algos {
+		a.Reset()
+	}
+}
+
+// Step implements Algorithm: bands of target rows run on each device and
+// the results are reassembled.
+func (m *MultiGPU) Step(p *retard.Problem, target *grid.Grid, comp int) *StepResult {
+	d := len(m.Algos)
+	if d == 1 {
+		return m.Algos[0].Step(p, target, comp)
+	}
+	agg := &StepResult{}
+	var maxTime float64
+	rowsPerDev := (target.NY + d - 1) / d
+	for dev := 0; dev < d; dev++ {
+		lo := dev * rowsPerDev
+		hi := lo + rowsPerDev
+		if hi > target.NY {
+			hi = target.NY
+		}
+		if lo >= hi {
+			continue
+		}
+		band := grid.New(target.NX, hi-lo, target.Comp,
+			target.X0, target.Y0+float64(lo)*target.DY, target.DX, target.DY)
+		band.Step = target.Step
+		res := m.Algos[dev].Step(p, band, comp)
+
+		// Copy the band's potentials back into the full target.
+		for iy := 0; iy < band.NY; iy++ {
+			for ix := 0; ix < band.NX; ix++ {
+				target.Set(ix, lo+iy, comp, band.At(ix, iy, comp))
+			}
+		}
+		agg.Points = append(agg.Points, res.Points...)
+		if res.Metrics.Time > maxTime {
+			maxTime = res.Metrics.Time
+		}
+		agg.Metrics.Add(res.Metrics)
+		agg.Host.Clustering += res.Host.Clustering
+		agg.Host.Predict += res.Host.Predict
+		agg.Host.Train += res.Host.Train
+		agg.FallbackEntries += res.FallbackEntries
+		agg.Launches += res.Launches
+		agg.Fixed.Add(res.Fixed)
+		agg.Adaptive.Add(res.Adaptive)
+	}
+	// Devices run concurrently: the stage finishes with the slowest one.
+	agg.Metrics.Time = maxTime
+	return agg
+}

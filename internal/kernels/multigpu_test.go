@@ -1,0 +1,79 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"beamdyn/internal/gpusim"
+)
+
+func TestMultiGPUMatchesSingleDevice(t *testing.T) {
+	p, target := fixture(8, 32)
+	ref := target.Clone()
+	p.SolveGrid(ref, 0)
+	scale := ref.MaxAbs(0)
+
+	m := NewMultiGPU(4, func(int) Algorithm {
+		return NewPredictive(gpusim.New(gpusim.KeplerK40()))
+	})
+	out := target.Clone()
+	m.Step(p, out, 0) // bootstrap
+	out = target.Clone()
+	res := m.Step(p, out, 0)
+
+	var worst float64
+	for i := range ref.Data {
+		if d := math.Abs(ref.Data[i]-out.Data[i]) / scale; d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.02 {
+		t.Fatalf("multi-GPU potentials deviate by %g", worst)
+	}
+	if len(res.Points) != 32*32 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if res.Metrics.Time <= 0 {
+		t.Fatal("no time")
+	}
+}
+
+func TestMultiGPUScales(t *testing.T) {
+	p, target := fixture(8, 48)
+	time := func(devices int) float64 {
+		m := NewMultiGPU(devices, func(int) Algorithm {
+			return NewPredictive(gpusim.New(gpusim.KeplerK40()))
+		})
+		m.Step(p, target.Clone(), 0)
+		res := m.Step(p, target.Clone(), 0)
+		return res.Metrics.Time
+	}
+	t1 := time(1)
+	t4 := time(4)
+	speedup := t1 / t4
+	if speedup < 2 {
+		t.Fatalf("4-device speedup %.2f, want >= 2 (t1=%g t4=%g)", speedup, t1, t4)
+	}
+	if speedup > 4.5 {
+		t.Fatalf("super-linear speedup %.2f is implausible", speedup)
+	}
+}
+
+func TestMultiGPUNameAndReset(t *testing.T) {
+	m := NewMultiGPU(2, func(int) Algorithm {
+		return NewHeuristic(gpusim.New(gpusim.KeplerK40()))
+	})
+	if m.Name() != "Heuristic-RP x2" {
+		t.Fatalf("name %q", m.Name())
+	}
+	m.Reset() // must not panic
+}
+
+func TestNewMultiGPUPanicsOnZeroDevices(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0 devices did not panic")
+		}
+	}()
+	NewMultiGPU(0, nil)
+}

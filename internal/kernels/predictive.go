@@ -1,0 +1,597 @@
+package kernels
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"beamdyn/internal/access"
+	"beamdyn/internal/gpusim"
+	"beamdyn/internal/grid"
+	"beamdyn/internal/ml/kmeans"
+	"beamdyn/internal/ml/knn"
+	"beamdyn/internal/ml/linreg"
+	"beamdyn/internal/quadrature"
+	"beamdyn/internal/retard"
+	"beamdyn/internal/rng"
+)
+
+// Predictor is the online prediction model of Section III.B: fitted on the
+// access patterns observed during one time step, queried for one-step-ahead
+// forecasts during the next.
+type Predictor interface {
+	// Trained reports whether the model can predict.
+	Trained() bool
+	// Fit replaces the training set with (inputs, patterns).
+	Fit(x, y [][]float64)
+	// Predict writes the forecast pattern for input x into out.
+	Predict(x, out []float64)
+	// OutDim returns the trained pattern length (0 before Fit).
+	OutDim() int
+}
+
+// KNNPredictor adapts the kNN regressor to the Predictor interface; it is
+// the paper's model of choice. Predictions use inverse-distance weighting,
+// so a query at (or very near) a training grid point reproduces that
+// point's observed pattern while queries between points interpolate.
+type KNNPredictor struct{ *knn.Regressor }
+
+// NewKNNPredictor returns a kNN predictor over k neighbours.
+func NewKNNPredictor(k int) KNNPredictor { return KNNPredictor{knn.New(k)} }
+
+// Predict implements Predictor with inverse-distance weighting.
+func (p KNNPredictor) Predict(x, out []float64) { p.PredictWeighted(x, out) }
+
+// LinregPredictor adapts least-squares linear regression to the Predictor
+// interface — the alternative model the paper reports as performing within
+// noise of kNN.
+type LinregPredictor struct{ m linreg.Model }
+
+// NewLinregPredictor returns a linear-regression predictor.
+func NewLinregPredictor() *LinregPredictor { return &LinregPredictor{} }
+
+// Trained implements Predictor.
+func (l *LinregPredictor) Trained() bool { return l.m.Trained() }
+
+// Fit implements Predictor. Least-squares fitting cannot fail on the
+// well-conditioned grid-point designs this system produces; a singular fit
+// leaves the previous model in place, which only costs prediction quality.
+func (l *LinregPredictor) Fit(x, y [][]float64) { _ = l.m.Fit(x, y) }
+
+// Predict implements Predictor.
+func (l *LinregPredictor) Predict(x, out []float64) { l.m.Predict(x, out) }
+
+// OutDim implements Predictor.
+func (l *LinregPredictor) OutDim() int { return l.m.OutDim() }
+
+// PartitionMode selects the forecast-to-partition transform of Section
+// III.C.2.
+type PartitionMode int
+
+const (
+	// UniformPartition divides each subregion into the predicted number of
+	// equal panels.
+	UniformPartition PartitionMode = iota
+	// AdaptivePartition refines the previous step's partition by the
+	// predicted count ratios.
+	AdaptivePartition
+)
+
+// ClusterMode selects how RP-CLUSTERING groups grid points.
+type ClusterMode int
+
+const (
+	// ClusterByPattern groups grid points into spatially contiguous,
+	// warp-aligned segments whose predicted access patterns are similar:
+	// the row-major walk cuts a new segment at pattern jumps or at the
+	// capacity N/m. It realises RP-CLUSTERING's objective (minimal
+	// pattern distance to the group representative) under the constraint
+	// that a warp's lanes stay adjacent in memory, which pure k-means
+	// cannot guarantee. This is the default.
+	ClusterByPattern ClusterMode = iota
+	// ClusterKMeans is the unconstrained k-means of Algorithm 1 (kept for
+	// the ablation benchmark; on mirror-symmetric pattern fields it groups
+	// spatially distant points and loses coalescing).
+	ClusterKMeans
+	// ClusterSpatial tiles points spatially ignoring patterns, the
+	// heuristic of [10] (ablation).
+	ClusterSpatial
+	// ClusterNone maps points to blocks row-major (ablation).
+	ClusterNone
+)
+
+// Predictive implements this paper's Predictive-RP kernel (Algorithm 1).
+type Predictive struct {
+	Dev *gpusim.Device
+	// Pred is the online prediction model g (default: 4-NN regression).
+	Pred Predictor
+	// Mode is the forecast-to-partition transform.
+	Mode PartitionMode
+	// Clustering selects the RP-CLUSTERING strategy.
+	Clustering ClusterMode
+	// Clusters is the cluster count m; 0 means max(NX, NY) as in the
+	// paper's implementation.
+	Clusters int
+	// Seed seeds k-means initialisation and cluster sampling.
+	Seed uint64
+	// ClusterSample caps the number of points used to fit the k-means
+	// centers (all points are still assigned); 0 means 4096. The paper
+	// runs scikit-learn k-means on all points on a multicore host; the
+	// subsample keeps host time proportionate on small machines without
+	// changing the cluster structure of the smooth pattern field.
+	ClusterSample int
+	// SafetyFactor scales predicted panel counts before partitioning
+	// (>= 1 trades a little extra work for fewer tolerance failures);
+	// 0 means 1.0.
+	SafetyFactor float64
+	// MergeQuantile is the per-subregion quantile of member pattern counts
+	// used for a block's merged partition: 1.0 covers every member
+	// (element-wise max, most extra work), lower values let the adaptive
+	// safety net catch the tail. 0 means 0.9.
+	MergeQuantile float64
+	// SpatialWeight adds the grid position (scaled to the typical pattern
+	// magnitude) to the clustering features, regularising clusters to be
+	// spatially compact so warps read adjacent stencils. 0 means 0.5;
+	// negative disables.
+	SpatialWeight float64
+	// BalanceSlack relaxes the per-cluster capacity used by the balanced
+	// assignment: capacity = slack * N/m (rounded up to whole warps).
+	// 1.0 forces exactly equal clusters (most warp-aligned, most spill);
+	// larger values keep more points in their nearest cluster. 0 means 1.0.
+	BalanceSlack float64
+	// SegmentCap bounds the segmented-clustering block size in threads;
+	// 0 means one warp (32), which keeps the merged partition tight where
+	// patterns vary quickly along a row.
+	SegmentCap int
+	// ThreadsPerBlock bounds the block size (default 256).
+	ThreadsPerBlock int
+	// PanelsPerSub seeds the bootstrap step before the model is trained.
+	PanelsPerSub int
+
+	prevParts [][]float64
+	prevNX    int
+	prevNY    int
+}
+
+// NewPredictive returns the kernel configured as in the paper: 4-NN
+// prediction, uniform partition transform, pattern clustering with
+// m = max(NX, NY).
+func NewPredictive(dev *gpusim.Device) *Predictive {
+	return &Predictive{
+		Dev:             dev,
+		Pred:            NewKNNPredictor(4),
+		Mode:            UniformPartition,
+		Clustering:      ClusterByPattern,
+		ThreadsPerBlock: 256,
+		PanelsPerSub:    2,
+	}
+}
+
+// Name implements Algorithm.
+func (pr *Predictive) Name() string { return "Predictive-RP" }
+
+// Reset implements Algorithm, dropping the trained model and remembered
+// partitions.
+func (pr *Predictive) Reset() {
+	if pr.Pred != nil && pr.Pred.Trained() {
+		pr.Pred.Fit(nil, nil)
+	}
+	pr.prevParts, pr.prevNX, pr.prevNY = nil, 0, 0
+}
+
+// Step implements Algorithm: lines 1-25 of COMPUTE-POTENTIALS.
+func (pr *Predictive) Step(p *retard.Problem, target *grid.Grid, comp int) *StepResult {
+	points := buildPoints(p, target)
+	res := &StepResult{}
+	if pr.prevNX != target.NX || pr.prevNY != target.NY {
+		pr.prevParts = nil
+	}
+	numSub := p.NumSub()
+	safety := pr.SafetyFactor
+	if safety == 0 {
+		safety = 1
+	}
+
+	// Lines 1-5: forecast each point's access pattern with g and convert
+	// it to a partition. Before the first training step the pattern falls
+	// back to the coarse uniform seed (the bootstrap step that also
+	// produces the first training set).
+	t0 := time.Now()
+	patterns := make([]access.Pattern, len(points))
+	parts := make([][]float64, len(points))
+	trained := pr.Pred != nil && pr.Pred.Trained() && pr.Pred.OutDim() == numSub
+	buf := make([]float64, numSub)
+	// Model features are bunch-frame coordinates: the moment grid co-moves
+	// with the bunch, so positions relative to the grid centre are the
+	// stationary coordinates in which access patterns persist; lab-frame
+	// positions would shift by c*dt every step and turn every forecast
+	// into an extrapolation.
+	cx, cy := gridCenter(target)
+	for i := range points {
+		pt := &points[i]
+		pat := make(access.Pattern, numSub)
+		if trained {
+			pr.Pred.Predict([]float64{pt.X - cx, pt.Y - cy}, buf)
+			for j := range pat {
+				pat[j] = math.Max(buf[j]*safety, 0)
+			}
+		} else {
+			for j := range pat {
+				pat[j] = float64(pr.PanelsPerSub)
+			}
+		}
+		patterns[i] = pat
+		if pr.Mode == AdaptivePartition && pr.prevParts != nil && len(pr.prevParts[i]) >= 2 {
+			parts[i] = pat.AdaptivePartition(pr.prevParts[i], p.SubWidth(), pt.R)
+		} else {
+			parts[i] = pat.UniformPartition(p.SubWidth(), pt.R)
+		}
+	}
+	res.Host.Predict = time.Since(t0).Seconds()
+
+	// Line 6: RP-CLUSTERING — group points by predicted access pattern.
+	t0 = time.Now()
+	blocks, merged, bases := pr.cluster(p, target, points, patterns, parts)
+	res.Host.Clustering = time.Since(t0).Seconds()
+
+	// Lines 8-17: evaluate every point over its cluster's merged partition
+	// with one-to-one thread mapping and uniform control flow.
+	tpb := 0
+	for _, b := range blocks {
+		if len(b) > tpb {
+			tpb = len(b)
+		}
+	}
+	spec := fixedPhaseSpec{
+		name:            "predictive/clustered",
+		blocks:          blocks,
+		threadsPerBlock: tpb,
+		partFor: func(i, blk int) ([]float64, uintptr) {
+			return merged[blk], bases[blk]
+		},
+	}
+	m, entries := fixedPhase(pr.Dev, p, points, spec)
+	res.Metrics.Add(m)
+	res.Fixed = m
+	res.Launches++
+	res.FallbackEntries = len(entries)
+	res.FallbackBySubregion = tallySubregions(p, entries)
+
+	// Lines 18-24: adaptive safety net for panels above tolerance.
+	rm, launches := adaptivePhase(pr.Dev, p, points, entries, pr.threadsPerBlock(), false, "predictive/adaptive")
+	res.Metrics.Add(rm)
+	res.Adaptive = rm
+	res.Launches += launches
+
+	finishPatterns(p, points)
+	storeResults(points, target, comp)
+
+	// Line 25: ONLINE-LEARNING — refit g on the observed patterns.
+	t0 = time.Now()
+	x := make([][]float64, len(points))
+	y := make([][]float64, len(points))
+	for i := range points {
+		x[i] = []float64{points[i].X - cx, points[i].Y - cy}
+		y[i] = points[i].Pattern
+	}
+	pr.Pred.Fit(x, y)
+	res.Host.Train = time.Since(t0).Seconds()
+
+	pr.prevParts = make([][]float64, len(points))
+	for i := range points {
+		pr.prevParts[i] = points[i].Partition
+	}
+	pr.prevNX, pr.prevNY = target.NX, target.NY
+	res.Points = points
+	return res
+}
+
+func (pr *Predictive) threadsPerBlock() int {
+	if pr.ThreadsPerBlock > 0 {
+		return pr.ThreadsPerBlock
+	}
+	return 256
+}
+
+// cluster implements RP-CLUSTERING plus the per-cluster MERGE-LISTS step
+// (lines 6 and 9-12): it returns the thread blocks (point index lists),
+// the merged partition each block walks, and the partition's simulated
+// base address (shared by all threads of the block, so breakpoint loads
+// broadcast).
+func (pr *Predictive) cluster(p *retard.Problem, target *grid.Grid, points []Point, patterns []access.Pattern, parts [][]float64) (blocks [][]int, merged [][]float64, bases []uintptr) {
+	var groups [][]int
+	switch pr.Clustering {
+	case ClusterSpatial:
+		groups = tileBlocks(target.NX, target.NY, 32, 8)
+	case ClusterNone:
+		groups = rowMajorBlocks(len(points), pr.threadsPerBlock())
+	case ClusterKMeans:
+		groups = pr.patternClusters(target, patterns)
+	default:
+		groups = pr.segmentClusters(target, patterns)
+	}
+
+	maxTPB := pr.Dev.Config().MaxThreadsPerBlock
+	if tp := pr.threadsPerBlock(); tp < maxTPB {
+		maxTPB = tp
+	}
+	var cursor uintptr
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		// "Each cluster is assigned to one or more thread blocks."
+		for lo := 0; lo < len(g); lo += maxTPB {
+			hi := lo + maxTPB
+			if hi > len(g) {
+				hi = len(g)
+			}
+			blk := g[lo:hi]
+			// Merged partition: the per-subregion quantile of the member
+			// patterns covers almost every member with a single breakpoint
+			// list (MERGE-LISTS' uniform-control-flow objective without the
+			// breakpoint-union blow-up of misaligned uniform partitions);
+			// the straggler tail is caught by the adaptive safety net.
+			q := pr.MergeQuantile
+			if q == 0 {
+				q = 0.9
+			}
+			mergedPat := quantilePattern(patterns, blk, p.NumSub(), q)
+			maxR := 0.0
+			for _, i := range blk {
+				if points[i].R > maxR {
+					maxR = points[i].R
+				}
+			}
+			var mp []float64
+			if pr.Mode == AdaptivePartition {
+				// Aligned previous-step breakpoints merge exactly.
+				mp = parts[blk[0]]
+				for _, i := range blk[1:] {
+					mp = mergeClamped(mp, parts[i])
+				}
+			} else {
+				mp = mergedPat.UniformPartition(p.SubWidth(), maxR)
+			}
+			blocks = append(blocks, blk)
+			merged = append(merged, mp)
+			bases = append(bases, RegionParts+cursor)
+			cursor += uintptr(len(mp)) * 8
+		}
+	}
+	return blocks, merged, bases
+}
+
+func mergeClamped(a, b []float64) []float64 {
+	return quadrature.MergeLists(a, b, 1e-18)
+}
+
+// segmentClusters implements the default RP-CLUSTERING: a row-major walk
+// over the grid accumulates points into the current cluster and cuts a new
+// one when either the capacity N/m is reached or the point's predicted
+// pattern jumps away from the cluster's running mean; cuts align to warp
+// boundaries so no warp mixes clusters or runs partially filled. The
+// result minimises within-cluster pattern distance (the k-means objective
+// of Algorithm 1) subject to warps staying contiguous in memory.
+func (pr *Predictive) segmentClusters(target *grid.Grid, patterns []access.Pattern) [][]int {
+	n := len(patterns)
+	m := pr.Clusters
+	if m <= 0 {
+		m = target.NX
+		if target.NY > m {
+			m = target.NY
+		}
+	}
+	warp := pr.Dev.Config().WarpSize
+	capacity := (n + m - 1) / m
+	// Tight segments keep the merged partition close to every member's
+	// own requirement: the element-wise pattern maximum over a couple of
+	// warps of adjacent points overshoots far less than over a whole grid
+	// row, at the cost of more (still warp-aligned) blocks.
+	if maxCap := pr.SegmentCap; maxCap == 0 {
+		if capacity > warp {
+			capacity = warp
+		}
+	} else if capacity > maxCap {
+		capacity = maxCap
+	}
+	if rem := capacity % warp; rem != 0 {
+		capacity += warp - rem
+	}
+	// Jump threshold: a multiple of the median consecutive-point pattern
+	// distance, so the cut criterion adapts to the pattern field's scale.
+	jumps := make([]float64, 0, n-1)
+	for i := 1; i < n; i++ {
+		jumps = append(jumps, access.Distance2(patterns[i], patterns[i-1]))
+	}
+	sort.Float64s(jumps)
+	var thresh float64
+	if len(jumps) > 0 {
+		thresh = 25 * (jumps[len(jumps)/2] + 1e-12) // 5x median distance, squared
+	}
+
+	var groups [][]int
+	cur := make([]int, 0, capacity)
+	mean := make(access.Pattern, 0)
+	flush := func() {
+		if len(cur) > 0 {
+			groups = append(groups, cur)
+			cur = make([]int, 0, capacity)
+			mean = mean[:0]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if len(cur) == capacity {
+			flush()
+		}
+		if len(cur) > 0 && len(cur)%warp == 0 {
+			// Warp boundary: eligible cut point on a pattern jump.
+			scaled := make(access.Pattern, len(mean))
+			inv := 1 / float64(len(cur))
+			for j := range mean {
+				scaled[j] = mean[j] * inv
+			}
+			if access.Distance2(patterns[i], scaled) > thresh {
+				flush()
+			}
+		}
+		cur = append(cur, i)
+		if len(mean) < len(patterns[i]) {
+			grown := make(access.Pattern, len(patterns[i]))
+			copy(grown, mean)
+			mean = grown
+		}
+		for j, v := range patterns[i] {
+			mean[j] += v
+		}
+	}
+	flush()
+	return groups
+}
+
+// quantilePattern returns, per subregion, the q-quantile of the member
+// patterns' counts.
+func quantilePattern(patterns []access.Pattern, members []int, numSub int, q float64) access.Pattern {
+	out := make(access.Pattern, numSub)
+	vals := make([]float64, len(members))
+	for j := 0; j < numSub; j++ {
+		for k, i := range members {
+			if j < len(patterns[i]) {
+				vals[k] = patterns[i][j]
+			} else {
+				vals[k] = 0
+			}
+		}
+		sort.Float64s(vals)
+		idx := int(q * float64(len(vals)-1))
+		out[j] = vals[idx]
+	}
+	return out
+}
+
+// patternClusters runs k-means on the predicted patterns with
+// m = max(NX, NY) clusters (the paper's choice), fitting centers on a
+// subsample and assigning all points. A small spatially scaled position
+// feature regularises the clusters to be spatially compact, so the warps
+// formed from a cluster read adjacent integrand stencils.
+func (pr *Predictive) patternClusters(target *grid.Grid, patterns []access.Pattern) [][]int {
+	m := pr.Clusters
+	if m <= 0 {
+		m = target.NX
+		if target.NY > m {
+			m = target.NY
+		}
+	}
+	sw := pr.SpatialWeight
+	if sw == 0 {
+		sw = 0.5
+	}
+	var posScale float64
+	if sw > 0 {
+		// Scale positions to the typical pattern magnitude so neither
+		// dominates the k-means metric.
+		var norm float64
+		for i := range patterns {
+			norm += math.Sqrt(access.Distance2(patterns[i], nil))
+		}
+		posScale = sw * norm / float64(len(patterns))
+	}
+	data := make([][]float64, len(patterns))
+	for i := range patterns {
+		if posScale > 0 {
+			ix := i % target.NX
+			iy := i / target.NX
+			row := make([]float64, len(patterns[i]), len(patterns[i])+2)
+			copy(row, patterns[i])
+			row = append(row,
+				posScale*float64(ix)/float64(target.NX),
+				posScale*float64(iy)/float64(target.NY))
+			data[i] = row
+		} else {
+			data[i] = patterns[i]
+		}
+	}
+	sample := pr.ClusterSample
+	if sample <= 0 {
+		sample = 4096
+	}
+	var centers [][]float64
+	if len(data) > sample && sample > m {
+		src := rng.New(pr.Seed ^ 0x5eed)
+		perm := src.Perm(len(data))[:sample]
+		sub := make([][]float64, sample)
+		for i, j := range perm {
+			sub[i] = data[j]
+		}
+		fit := kmeans.Cluster(sub, kmeans.Config{K: m, Seed: pr.Seed, MaxIters: 12})
+		centers = fit.Centers
+	} else {
+		fit := kmeans.Cluster(data, kmeans.Config{K: m, Seed: pr.Seed, MaxIters: 12})
+		centers = fit.Centers
+	}
+	// Balanced assignment: k-means "prefers clusters of approximately
+	// similar size" (paper Section IV.A); bounding the capacity keeps
+	// cluster sizes (and hence thread-block occupancy) comparable while
+	// the slack lets most points stay in their nearest cluster. Capacity
+	// rounds up to a whole number of warps.
+	warp := pr.Dev.Config().WarpSize
+	slack := pr.BalanceSlack
+	if slack == 0 {
+		slack = 1
+	}
+	capacity := int(slack * float64(len(data)) / float64(m))
+	if capacity < 1 {
+		capacity = 1
+	}
+	if rem := capacity % warp; rem != 0 {
+		capacity += warp - rem
+	}
+	assign := assignBalanced(data, centers, capacity)
+	groups := kmeans.Groups(assign, m)
+	// Members stay in row-major order within each cluster, so consecutive
+	// lanes of a warp are x-adjacent wherever the cluster spans whole row
+	// segments; drop empty clusters.
+	out := groups[:0]
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// assignBalanced assigns every row of data to the nearest center that
+// still has capacity left.
+func assignBalanced(data [][]float64, centers [][]float64, capacity int) []int {
+	assign := make([]int, len(data))
+	counts := make([]int, len(centers))
+	for i, x := range data {
+		best, bestD := -1, math.Inf(1)
+		for c := range centers {
+			if counts[c] >= capacity {
+				continue
+			}
+			var d float64
+			for j := range x {
+				diff := x[j] - centers[c][j]
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best < 0 {
+			// All centers full (can only happen from rounding); spill to
+			// the globally least loaded cluster.
+			best = 0
+			for c := range counts {
+				if counts[c] < counts[best] {
+					best = c
+				}
+			}
+		}
+		assign[i] = best
+		counts[best]++
+	}
+	return assign
+}

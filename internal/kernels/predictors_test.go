@@ -1,0 +1,99 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"beamdyn/internal/gpusim"
+)
+
+func TestTreePredictorProducesCorrectPotentials(t *testing.T) {
+	p, target := fixture(8, 24)
+	ref := target.Clone()
+	p.SolveGrid(ref, 0)
+	scale := ref.MaxAbs(0)
+
+	pr := NewPredictive(gpusim.New(gpusim.KeplerK40()))
+	pr.Pred = NewTreePredictor()
+	pr.Step(p, target.Clone(), 0)
+	if !pr.Pred.Trained() {
+		t.Fatal("tree predictor not trained by ONLINE-LEARNING")
+	}
+	out := target.Clone()
+	pr.Step(p, out, 0)
+	var worst float64
+	for i := range ref.Data {
+		if d := math.Abs(ref.Data[i]-out.Data[i]) / scale; d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.02 {
+		t.Fatalf("tree-predicted kernel deviates by %g", worst)
+	}
+}
+
+func TestTrendPredictorExtrapolates(t *testing.T) {
+	mk := func() Predictor { return NewKNNPredictor(1) }
+	tp := NewTrendPredictor(mk, 2)
+	if tp.Trained() {
+		t.Fatal("untrained trend predictor claims training")
+	}
+	x := [][]float64{{0}, {1}}
+	tp.Fit(x, [][]float64{{10}, {20}})
+	out := make([]float64, 1)
+	tp.Predict([]float64{0}, out)
+	if out[0] != 10 {
+		t.Fatalf("single-fit prediction %g, want base model's 10", out[0])
+	}
+	// Second fit: values grew by 2; horizon 2 extrapolates +4.
+	tp.Fit(x, [][]float64{{12}, {22}})
+	tp.Predict([]float64{0}, out)
+	if math.Abs(out[0]-16) > 1e-9 {
+		t.Fatalf("trend prediction %g, want 12 + 2*(12-10) = 16", out[0])
+	}
+}
+
+func TestTrendPredictorClampsNegative(t *testing.T) {
+	tp := NewTrendPredictor(func() Predictor { return NewKNNPredictor(1) }, 4)
+	x := [][]float64{{0}, {1}}
+	tp.Fit(x, [][]float64{{10}, {10}})
+	tp.Fit(x, [][]float64{{1}, {1}})
+	out := make([]float64, 1)
+	tp.Predict([]float64{0}, out)
+	// 1 + 4*(1-10) would be negative; panel counts cannot be.
+	if out[0] < 0 {
+		t.Fatalf("trend produced negative pattern count %g", out[0])
+	}
+}
+
+func TestTrendPredictorReset(t *testing.T) {
+	tp := NewTrendPredictor(func() Predictor { return NewKNNPredictor(1) }, 1)
+	tp.Fit([][]float64{{0}}, [][]float64{{5}})
+	tp.Fit(nil, nil)
+	if tp.Trained() {
+		t.Fatal("empty fit did not reset")
+	}
+}
+
+func TestTrendPredictorInsideKernel(t *testing.T) {
+	p, target := fixture(8, 24)
+	pr := NewPredictive(gpusim.New(gpusim.KeplerK40()))
+	pr.Pred = NewTrendPredictor(func() Predictor { return NewKNNPredictor(4) }, 1)
+	pr.Step(p, target.Clone(), 0)
+	pr.Step(p, target.Clone(), 0)
+	res := pr.Step(p, target.Clone(), 0)
+	// On a static problem the trend is zero; the forecast must stay as
+	// good as plain persistence.
+	if res.FallbackEntries > 50 {
+		t.Fatalf("trend predictor fallback %d on a static problem", res.FallbackEntries)
+	}
+}
+
+func TestNewTrendPredictorPanicsOnBadHorizon(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("horizon 0 did not panic")
+		}
+	}()
+	NewTrendPredictor(func() Predictor { return NewKNNPredictor(1) }, 0)
+}

@@ -1,0 +1,178 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+
+	"beamdyn/internal/rng"
+)
+
+// SelectorPredictor implements the model-selection procedure the paper
+// sketches in Section III.B.1 ("choosing the right algorithm often
+// requires studying multiple algorithms and its effects on the problem
+// before choosing the best performing one"), made online: every training
+// step each candidate model is fitted on a training split and scored on a
+// held-out split of the observed access patterns; predictions are served
+// by the candidate with the lowest held-out error. Candidates whose
+// training panics or that cannot predict are skipped.
+type SelectorPredictor struct {
+	// HoldoutFrac is the held-out fraction of each training set (0 means
+	// 0.2).
+	HoldoutFrac float64
+	// Seed drives the train/holdout split.
+	Seed uint64
+
+	names      []string
+	candidates []Predictor
+	scores     []float64
+	best       int
+	trained    bool
+}
+
+// NewSelectorPredictor builds a selector over named candidates. At least
+// one candidate is required.
+func NewSelectorPredictor(names []string, candidates []Predictor) *SelectorPredictor {
+	if len(candidates) == 0 || len(names) != len(candidates) {
+		panic(fmt.Sprintf("kernels: selector with %d names, %d candidates", len(names), len(candidates)))
+	}
+	return &SelectorPredictor{
+		names:      names,
+		candidates: candidates,
+		scores:     make([]float64, len(candidates)),
+	}
+}
+
+// DefaultSelector returns a selector over the repository's full model
+// zoo: kNN (weighted), linear regression and a regression tree.
+func DefaultSelector() *SelectorPredictor {
+	return NewSelectorPredictor(
+		[]string{"knn4", "linreg", "tree"},
+		[]Predictor{NewKNNPredictor(4), NewLinregPredictor(), NewTreePredictor()},
+	)
+}
+
+// Trained implements Predictor.
+func (s *SelectorPredictor) Trained() bool { return s.trained }
+
+// Best returns the currently selected model's name and held-out MSE.
+func (s *SelectorPredictor) Best() (string, float64) {
+	if !s.trained {
+		return "", 0
+	}
+	return s.names[s.best], s.scores[s.best]
+}
+
+// Fit implements Predictor: each candidate trains on the training split
+// and is scored on the held-out split; the winner then retrains on the
+// full set so no data is wasted at prediction time.
+func (s *SelectorPredictor) Fit(x, y [][]float64) {
+	if len(x) == 0 {
+		for _, c := range s.candidates {
+			c.Fit(nil, nil)
+		}
+		s.trained = false
+		return
+	}
+	frac := s.HoldoutFrac
+	if frac <= 0 || frac >= 1 {
+		frac = 0.2
+	}
+	perm := rng.New(s.Seed ^ 0xbe57).Perm(len(x))
+	nHold := int(frac * float64(len(x)))
+	if nHold < 1 {
+		nHold = 1
+	}
+	if nHold >= len(x) {
+		nHold = len(x) - 1
+	}
+	var trX, trY, hoX, hoY [][]float64
+	for i, j := range perm {
+		if i < nHold {
+			hoX = append(hoX, x[j])
+			hoY = append(hoY, y[j])
+		} else {
+			trX = append(trX, x[j])
+			trY = append(trY, y[j])
+		}
+	}
+
+	s.best = -1
+	bestScore := 0.0
+	buf := make([]float64, len(y[0]))
+	for ci, c := range s.candidates {
+		s.scores[ci] = heldOutMSE(c, trX, trY, hoX, hoY, buf)
+		if s.scores[ci] >= 0 && (s.best < 0 || s.scores[ci] < bestScore) {
+			s.best = ci
+			bestScore = s.scores[ci]
+		}
+	}
+	if s.best < 0 {
+		// Every candidate failed: fall back to the first and hope the
+		// full-set fit succeeds; prediction errors surface as fallback
+		// work, never as wrong integrals.
+		s.best = 0
+	}
+	s.candidates[s.best].Fit(x, y)
+	s.trained = s.candidates[s.best].Trained()
+}
+
+// heldOutMSE trains c on (trX, trY) and returns its MSE on the hold-out
+// split, or -1 when the candidate cannot train or predict.
+func heldOutMSE(c Predictor, trX, trY, hoX, hoY [][]float64, buf []float64) (mse float64) {
+	defer func() {
+		if recover() != nil {
+			mse = -1
+		}
+	}()
+	c.Fit(trX, trY)
+	if !c.Trained() || c.OutDim() != len(buf) {
+		return -1
+	}
+	var sum float64
+	n := 0
+	for i := range hoX {
+		c.Predict(hoX[i], buf)
+		for j, v := range buf {
+			d := v - hoY[i][j]
+			sum += d * d
+			n++
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	return sum / float64(n)
+}
+
+// Predict implements Predictor, serving from the selected model.
+func (s *SelectorPredictor) Predict(x, out []float64) {
+	if !s.trained {
+		panic("kernels: selector Predict before Fit")
+	}
+	s.candidates[s.best].Predict(x, out)
+}
+
+// OutDim implements Predictor.
+func (s *SelectorPredictor) OutDim() int {
+	if !s.trained {
+		return 0
+	}
+	return s.candidates[s.best].OutDim()
+}
+
+// Report renders the candidates' latest held-out scores.
+func (s *SelectorPredictor) Report() string {
+	var b strings.Builder
+	for i, name := range s.names {
+		marker := " "
+		if s.trained && i == s.best {
+			marker = "*"
+		}
+		score := "n/a"
+		if s.scores[i] >= 0 {
+			score = fmt.Sprintf("%.4g", s.scores[i])
+		}
+		fmt.Fprintf(&b, "%s %-8s held-out MSE %s\n", marker, name, score)
+	}
+	return b.String()
+}

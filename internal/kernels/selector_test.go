@@ -1,0 +1,107 @@
+package kernels
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"beamdyn/internal/gpusim"
+	"beamdyn/internal/rng"
+)
+
+// stepField builds a pattern-like dataset with a sharp front: trees and
+// kNN model it well, linear regression cannot.
+func stepField(n int, seed uint64) (x, y [][]float64) {
+	src := rng.New(seed)
+	for i := 0; i < n; i++ {
+		a, b := src.Float64(), src.Float64()
+		x = append(x, []float64{a, b})
+		v := 1.0
+		if a > 0.5 {
+			v = 9
+		}
+		y = append(y, []float64{v, v * 2})
+	}
+	return x, y
+}
+
+func TestSelectorPicksNonlinearModelOnStepField(t *testing.T) {
+	s := DefaultSelector()
+	s.Seed = 3
+	x, y := stepField(600, 1)
+	s.Fit(x, y)
+	if !s.Trained() {
+		t.Fatal("selector not trained")
+	}
+	name, mse := s.Best()
+	if name == "linreg" {
+		t.Fatalf("selector chose linear regression (MSE %g) on a step field:\n%s", mse, s.Report())
+	}
+	out := make([]float64, 2)
+	s.Predict([]float64{0.9, 0.5}, out)
+	if math.Abs(out[0]-9) > 1 {
+		t.Fatalf("selected model predicts %g on the high side, want ~9", out[0])
+	}
+	if s.OutDim() != 2 {
+		t.Fatalf("OutDim = %d", s.OutDim())
+	}
+	rep := s.Report()
+	if !strings.Contains(rep, "*") || !strings.Contains(rep, "held-out MSE") {
+		t.Fatalf("report: %s", rep)
+	}
+}
+
+func TestSelectorPicksLinearModelOnLinearField(t *testing.T) {
+	src := rng.New(2)
+	var x, y [][]float64
+	for i := 0; i < 600; i++ {
+		a, b := src.Float64(), src.Float64()
+		x = append(x, []float64{a, b})
+		y = append(y, []float64{3*a - b + 2})
+	}
+	s := DefaultSelector()
+	s.Seed = 4
+	s.Fit(x, y)
+	name, _ := s.Best()
+	if name != "linreg" {
+		t.Fatalf("selector chose %s on an exactly linear field:\n%s", name, s.Report())
+	}
+}
+
+func TestSelectorResets(t *testing.T) {
+	s := DefaultSelector()
+	x, y := stepField(100, 5)
+	s.Fit(x, y)
+	s.Fit(nil, nil)
+	if s.Trained() {
+		t.Fatal("selector trained after empty fit")
+	}
+}
+
+func TestSelectorPanicsOnEmptyCandidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty selector did not panic")
+		}
+	}()
+	NewSelectorPredictor(nil, nil)
+}
+
+func TestSelectorInsidePredictiveKernel(t *testing.T) {
+	p, target := fixture(8, 24)
+	pr := NewPredictive(gpusim.New(gpusim.KeplerK40()))
+	sel := DefaultSelector()
+	pr.Pred = sel
+	pr.Step(p, target.Clone(), 0)
+	res := pr.Step(p, target.Clone(), 0)
+	if !sel.Trained() {
+		t.Fatal("selector not trained through ONLINE-LEARNING")
+	}
+	name, _ := sel.Best()
+	if name == "" {
+		t.Fatal("no model selected")
+	}
+	if res.FallbackEntries > 100 {
+		t.Fatalf("selector-driven kernel fallback %d", res.FallbackEntries)
+	}
+}

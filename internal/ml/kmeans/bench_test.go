@@ -1,0 +1,40 @@
+package kmeans
+
+import (
+	"testing"
+
+	"beamdyn/internal/rng"
+)
+
+func patternField(n, dim int, seed uint64) [][]float64 {
+	src := rng.New(seed)
+	data := make([][]float64, n)
+	for i := range data {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = float64(src.Intn(16))
+		}
+		data[i] = row
+	}
+	return data
+}
+
+// BenchmarkCluster64 measures RP-CLUSTERING at a 64x64 grid with the
+// paper's m = max(NX, NY).
+func BenchmarkCluster64(b *testing.B) {
+	data := patternField(4096, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cluster(data, Config{K: 64, Seed: 1, MaxIters: 12})
+	}
+}
+
+// BenchmarkClusterSampled measures the subsampled-fit variant used by the
+// Predictive kernel at large grids.
+func BenchmarkClusterSampled(b *testing.B) {
+	data := patternField(2048, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cluster(data, Config{K: 64, Seed: 1, MaxIters: 12})
+	}
+}

@@ -1,0 +1,249 @@
+// Package kmeans implements Lloyd's k-means clustering with k-means++
+// seeding, parallel assignment, and empty-cluster repair.
+//
+// It backs the RP-CLUSTERING procedure of Algorithm 1: grid points are
+// clustered by the similarity of their (predicted) access patterns, so that
+// points mapped to the same GPU thread block share a cache working set and
+// loop trip counts. The paper uses scikit-learn's k-means on the host; this
+// is the stdlib-only equivalent.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"beamdyn/internal/rng"
+)
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Centers holds k centroid vectors.
+	Centers [][]float64
+	// Assign maps each input row to its cluster index.
+	Assign []int
+	// Inertia is the summed squared distance of points to their centroid —
+	// the objective of the argmin in the paper's RP-CLUSTERING equation.
+	Inertia float64
+	// Iters is the number of Lloyd iterations performed.
+	Iters int
+}
+
+// Config controls the clustering.
+type Config struct {
+	// K is the number of clusters m. The paper uses m = max(NX, NY).
+	K int
+	// MaxIters bounds Lloyd iterations; 0 means 50, which is ample for the
+	// smooth access-pattern fields the simulation produces.
+	MaxIters int
+	// Tol stops iteration when the relative inertia improvement falls
+	// below it; 0 means 1e-6.
+	Tol float64
+	// Seed seeds the k-means++ initialisation.
+	Seed uint64
+	// Workers is the assignment-phase parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Cluster partitions the rows of x into cfg.K clusters. All rows must share
+// a dimension; len(x) must be at least K (fewer rows get one cluster each,
+// with the remaining centers duplicated).
+func Cluster(x [][]float64, cfg Config) Result {
+	if cfg.K < 1 {
+		panic("kmeans: K must be positive")
+	}
+	if len(x) == 0 {
+		return Result{Centers: make([][]float64, 0), Assign: []int{}}
+	}
+	dim := len(x[0])
+	for i := range x {
+		if len(x[i]) != dim {
+			panic(fmt.Sprintf("kmeans: ragged input at row %d", i))
+		}
+	}
+	if cfg.MaxIters == 0 {
+		cfg.MaxIters = 50
+	}
+	if cfg.Tol == 0 {
+		cfg.Tol = 1e-6
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	k := cfg.K
+	if k > len(x) {
+		k = len(x)
+	}
+
+	src := rng.New(cfg.Seed)
+	centers := seedPlusPlus(x, k, src)
+	assign := make([]int, len(x))
+	dists := make([]float64, len(x))
+	res := Result{}
+	prev := math.Inf(1)
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		inertia := assignAll(x, centers, assign, dists, cfg.Workers)
+		res.Iters = iter + 1
+		// Recompute centroids.
+		counts := make([]int, k)
+		for i := range centers {
+			for j := range centers[i] {
+				centers[i][j] = 0
+			}
+		}
+		for i, a := range assign {
+			counts[a]++
+			for j, v := range x[i] {
+				centers[a][j] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Empty-cluster repair: re-seed at the point farthest from
+				// its current centroid.
+				far := argmax(dists)
+				copy(centers[c], x[far])
+				dists[far] = 0
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for j := range centers[c] {
+				centers[c][j] *= inv
+			}
+		}
+		if prev-inertia <= cfg.Tol*math.Abs(prev) {
+			res.Inertia = inertia
+			break
+		}
+		prev = inertia
+		res.Inertia = inertia
+	}
+	// Final assignment against the converged centers.
+	res.Inertia = assignAll(x, centers, assign, dists, cfg.Workers)
+	if k < cfg.K {
+		// Duplicate centers so callers always get cfg.K of them.
+		for len(centers) < cfg.K {
+			centers = append(centers, append([]float64(nil), centers[len(centers)%k]...))
+		}
+	}
+	res.Centers = centers
+	res.Assign = assign
+	return res
+}
+
+// seedPlusPlus chooses k initial centers with the k-means++ D^2 weighting.
+func seedPlusPlus(x [][]float64, k int, src *rng.Source) [][]float64 {
+	centers := make([][]float64, 0, k)
+	first := src.Intn(len(x))
+	centers = append(centers, append([]float64(nil), x[first]...))
+	d2 := make([]float64, len(x))
+	for i := range x {
+		d2[i] = dist2(x[i], centers[0])
+	}
+	for len(centers) < k {
+		var sum float64
+		for _, d := range d2 {
+			sum += d
+		}
+		var idx int
+		if sum <= 0 {
+			idx = src.Intn(len(x))
+		} else {
+			target := src.Float64() * sum
+			var acc float64
+			idx = len(x) - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), x[idx]...)
+		centers = append(centers, c)
+		for i := range x {
+			if d := dist2(x[i], c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centers
+}
+
+// assignAll assigns every row to its nearest center, filling assign and
+// dists, and returns the total inertia. The loop is sharded over workers.
+func assignAll(x [][]float64, centers [][]float64, assign []int, dists []float64, workers int) float64 {
+	if workers > len(x) {
+		workers = len(x)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	partial := make([]float64, workers)
+	var wg sync.WaitGroup
+	chunk := (len(x) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(x) {
+			hi = len(x)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var local float64
+			for i := lo; i < hi; i++ {
+				best, bestD := 0, math.Inf(1)
+				for c := range centers {
+					if d := dist2(x[i], centers[c]); d < bestD {
+						best, bestD = c, d
+					}
+				}
+				assign[i] = best
+				dists[i] = bestD
+				local += bestD
+			}
+			partial[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total float64
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+func dist2(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		diff := a[i] - b[i]
+		d += diff * diff
+	}
+	return d
+}
+
+func argmax(v []float64) int {
+	best, bestV := 0, math.Inf(-1)
+	for i, x := range v {
+		if x > bestV {
+			best, bestV = i, x
+		}
+	}
+	return best
+}
+
+// Groups inverts an assignment vector into per-cluster member lists, the
+// form the kernel scheduler consumes (cluster -> thread block).
+func Groups(assign []int, k int) [][]int {
+	groups := make([][]int, k)
+	for i, a := range assign {
+		groups[a] = append(groups[a], i)
+	}
+	return groups
+}

@@ -1,0 +1,181 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"beamdyn/internal/rng"
+)
+
+// blobs generates k well-separated Gaussian blobs.
+func blobs(k, perBlob int, seed uint64) (data [][]float64, truth []int) {
+	src := rng.New(seed)
+	for b := 0; b < k; b++ {
+		cx, cy := float64(b*10), float64((b%2)*10)
+		for i := 0; i < perBlob; i++ {
+			data = append(data, []float64{cx + 0.5*src.Norm(), cy + 0.5*src.Norm()})
+			truth = append(truth, b)
+		}
+	}
+	return data, truth
+}
+
+func TestRecoversSeparatedBlobs(t *testing.T) {
+	data, truth := blobs(4, 100, 3)
+	res := Cluster(data, Config{K: 4, Seed: 1})
+	if len(res.Centers) != 4 || len(res.Assign) != len(data) {
+		t.Fatalf("result shape wrong: %d centers, %d assigns", len(res.Centers), len(res.Assign))
+	}
+	// Same-blob points must share a cluster, different blobs must not.
+	blobToCluster := map[int]int{}
+	for i, a := range res.Assign {
+		b := truth[i]
+		if c, ok := blobToCluster[b]; !ok {
+			blobToCluster[b] = a
+		} else if c != a {
+			t.Fatalf("blob %d split across clusters", b)
+		}
+	}
+	if len(blobToCluster) != 4 {
+		t.Fatal("blobs merged")
+	}
+}
+
+func TestInertiaDecreasesWithMoreClusters(t *testing.T) {
+	data, _ := blobs(4, 50, 7)
+	i2 := Cluster(data, Config{K: 2, Seed: 1}).Inertia
+	i4 := Cluster(data, Config{K: 4, Seed: 1}).Inertia
+	i8 := Cluster(data, Config{K: 8, Seed: 1}).Inertia
+	if !(i2 > i4 && i4 > i8) {
+		t.Fatalf("inertia not monotone: k2=%g k4=%g k8=%g", i2, i4, i8)
+	}
+}
+
+func TestAssignmentsAreNearestCenter(t *testing.T) {
+	data, _ := blobs(3, 60, 11)
+	res := Cluster(data, Config{K: 3, Seed: 2})
+	for i, x := range data {
+		best, bestD := -1, math.Inf(1)
+		for c := range res.Centers {
+			var d float64
+			for j := range x {
+				diff := x[j] - res.Centers[c][j]
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best != res.Assign[i] {
+			t.Fatalf("point %d assigned to %d, nearest is %d", i, res.Assign[i], best)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	data, _ := blobs(3, 40, 5)
+	a := Cluster(data, Config{K: 3, Seed: 9})
+	b := Cluster(data, Config{K: 3, Seed: 9})
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same-seed clustering differs")
+		}
+	}
+}
+
+func TestKLargerThanData(t *testing.T) {
+	data := [][]float64{{0}, {1}, {2}}
+	res := Cluster(data, Config{K: 8, Seed: 1})
+	if len(res.Centers) != 8 {
+		t.Fatalf("centers = %d, want padded to 8", len(res.Centers))
+	}
+	for _, a := range res.Assign {
+		if a < 0 || a >= 8 {
+			t.Fatalf("assignment %d out of range", a)
+		}
+	}
+}
+
+func TestSingleCluster(t *testing.T) {
+	data, _ := blobs(2, 30, 1)
+	res := Cluster(data, Config{K: 1, Seed: 1})
+	for _, a := range res.Assign {
+		if a != 0 {
+			t.Fatal("K=1 must assign everything to cluster 0")
+		}
+	}
+	// Center must be the centroid.
+	var mx, my float64
+	for _, x := range data {
+		mx += x[0]
+		my += x[1]
+	}
+	mx /= float64(len(data))
+	my /= float64(len(data))
+	if math.Abs(res.Centers[0][0]-mx) > 1e-9 || math.Abs(res.Centers[0][1]-my) > 1e-9 {
+		t.Fatalf("center %v, centroid (%g, %g)", res.Centers[0], mx, my)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res := Cluster(nil, Config{K: 3})
+	if len(res.Assign) != 0 {
+		t.Fatal("empty input must give empty assignment")
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	data := make([][]float64, 50)
+	for i := range data {
+		data[i] = []float64{1, 2}
+	}
+	res := Cluster(data, Config{K: 4, Seed: 3})
+	if res.Inertia > 1e-18 {
+		t.Fatalf("identical points inertia %g", res.Inertia)
+	}
+}
+
+func TestGroupsInvertAssignment(t *testing.T) {
+	assign := []int{0, 2, 1, 0, 2, 2}
+	g := Groups(assign, 3)
+	if len(g[0]) != 2 || len(g[1]) != 1 || len(g[2]) != 3 {
+		t.Fatalf("groups %v", g)
+	}
+	for c, members := range g {
+		for _, i := range members {
+			if assign[i] != c {
+				t.Fatalf("member %d in wrong group %d", i, c)
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	data, _ := blobs(4, 200, 13)
+	serial := Cluster(data, Config{K: 4, Seed: 2, Workers: 1})
+	parallel := Cluster(data, Config{K: 4, Seed: 2, Workers: 8})
+	if math.Abs(serial.Inertia-parallel.Inertia) > 1e-9*serial.Inertia {
+		t.Fatalf("worker count changed result: %g vs %g", serial.Inertia, parallel.Inertia)
+	}
+	for i := range serial.Assign {
+		if serial.Assign[i] != parallel.Assign[i] {
+			t.Fatal("assignments differ between worker counts")
+		}
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	for i, f := range []func(){
+		func() { Cluster([][]float64{{1}}, Config{K: 0}) },
+		func() { Cluster([][]float64{{1}, {1, 2}}, Config{K: 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

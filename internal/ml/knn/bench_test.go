@@ -1,0 +1,64 @@
+package knn
+
+import (
+	"testing"
+
+	"beamdyn/internal/rng"
+)
+
+func trainingSet(n, dim, outDim int, seed uint64) (x, y [][]float64) {
+	src := rng.New(seed)
+	x = make([][]float64, n)
+	y = make([][]float64, n)
+	for i := range x {
+		xi := make([]float64, dim)
+		for j := range xi {
+			xi[j] = src.Float64()
+		}
+		yi := make([]float64, outDim)
+		for j := range yi {
+			yi[j] = src.Float64() * 10
+		}
+		x[i], y[i] = xi, yi
+	}
+	return x, y
+}
+
+// BenchmarkFit measures the per-step ONLINE-LEARNING cost at a 64x64-grid
+// training-set size.
+func BenchmarkFit(b *testing.B) {
+	x, y := trainingSet(4096, 2, 8, 1)
+	r := New(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Fit(x, y)
+	}
+}
+
+// BenchmarkPredict measures one forecast query against a 64x64-grid model.
+func BenchmarkPredict(b *testing.B) {
+	x, y := trainingSet(4096, 2, 8, 1)
+	r := New(4)
+	r.Fit(x, y)
+	out := make([]float64, 8)
+	q := []float64{0.3, 0.7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.PredictWeighted(q, out)
+	}
+}
+
+// BenchmarkPredictAllPoints measures a full grid forecast (every grid
+// point queried), the per-step prediction cost of the Predictive kernel.
+func BenchmarkPredictAllPoints(b *testing.B) {
+	x, y := trainingSet(4096, 2, 8, 1)
+	r := New(4)
+	r.Fit(x, y)
+	out := make([]float64, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range x {
+			r.PredictWeighted(q, out)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package knn implements k-nearest-neighbour regression over low-dimensional
+// inputs with multi-dimensional outputs, backed by a kd-tree.
+//
+// This is the paper's prediction model of choice (Section III.B.1): at time
+// step k the regressor is fitted on the access patterns observed during step
+// k (online replace-training) and queried at step k+1 to forecast the
+// pattern at each grid point. Inputs are grid-point coordinates (x, y, t);
+// outputs are access-pattern vectors.
+package knn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Regressor is a kNN regressor. The zero value is unusable; construct with
+// New. Fit replaces the training set, implementing the paper's online
+// scheme where g_k is learned from the patterns observed during step k.
+type Regressor struct {
+	k      int
+	dim    int
+	outDim int
+	pts    []point
+	root   *node
+}
+
+type point struct {
+	x []float64
+	y []float64
+}
+
+type node struct {
+	idx         int // index into pts of the splitting point
+	axis        int
+	left, right *node
+}
+
+// New returns a regressor averaging over the k nearest neighbours. k must
+// be positive.
+func New(k int) *Regressor {
+	if k < 1 {
+		panic("knn: k must be positive")
+	}
+	return &Regressor{k: k}
+}
+
+// K returns the neighbour count.
+func (r *Regressor) K() int { return r.k }
+
+// Trained reports whether the regressor holds a training set.
+func (r *Regressor) Trained() bool { return r.root != nil }
+
+// Len returns the number of training examples.
+func (r *Regressor) Len() int { return len(r.pts) }
+
+// Fit replaces the training set with the given examples and rebuilds the
+// kd-tree. X and Y must be the same length; all rows of X (and of Y) must
+// share a dimension. The slices are copied, so callers may reuse their
+// buffers.
+func (r *Regressor) Fit(x, y [][]float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("knn: %d inputs, %d outputs", len(x), len(y)))
+	}
+	if len(x) == 0 {
+		r.pts, r.root = nil, nil
+		return
+	}
+	r.dim = len(x[0])
+	r.outDim = len(y[0])
+	r.pts = make([]point, len(x))
+	for i := range x {
+		if len(x[i]) != r.dim {
+			panic("knn: ragged input matrix")
+		}
+		if len(y[i]) != r.outDim {
+			panic("knn: ragged output matrix")
+		}
+		xi := make([]float64, r.dim)
+		copy(xi, x[i])
+		yi := make([]float64, r.outDim)
+		copy(yi, y[i])
+		r.pts[i] = point{x: xi, y: yi}
+	}
+	order := make([]int, len(r.pts))
+	for i := range order {
+		order[i] = i
+	}
+	r.root = r.build(order, 0)
+}
+
+// build constructs a balanced kd-tree by median splitting.
+func (r *Regressor) build(order []int, depth int) *node {
+	if len(order) == 0 {
+		return nil
+	}
+	axis := depth % r.dim
+	sort.Slice(order, func(i, j int) bool {
+		return r.pts[order[i]].x[axis] < r.pts[order[j]].x[axis]
+	})
+	mid := len(order) / 2
+	n := &node{idx: order[mid], axis: axis}
+	n.left = r.build(order[:mid], depth+1)
+	n.right = r.build(order[mid+1:], depth+1)
+	return n
+}
+
+// neighbour is an entry of the bounded max-heap used during search.
+type neighbour struct {
+	idx int
+	d2  float64
+}
+
+type maxHeap []neighbour
+
+func (h maxHeap) worst() float64 { return h[0].d2 }
+
+func (h *maxHeap) push(n neighbour, cap int) {
+	if len(*h) < cap {
+		*h = append(*h, n)
+		// sift up
+		i := len(*h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if (*h)[p].d2 >= (*h)[i].d2 {
+				break
+			}
+			(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+			i = p
+		}
+		return
+	}
+	if n.d2 >= (*h)[0].d2 {
+		return
+	}
+	(*h)[0] = n
+	// sift down
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(*h) && (*h)[l].d2 > (*h)[big].d2 {
+			big = l
+		}
+		if r < len(*h) && (*h)[r].d2 > (*h)[big].d2 {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		(*h)[i], (*h)[big] = (*h)[big], (*h)[i]
+		i = big
+	}
+}
+
+func dist2(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		diff := a[i] - b[i]
+		d += diff * diff
+	}
+	return d
+}
+
+// Neighbors returns the indices of the k nearest training points to x in
+// ascending distance order, and their squared distances.
+func (r *Regressor) Neighbors(x []float64) (idx []int, d2 []float64) {
+	if r.root == nil {
+		return nil, nil
+	}
+	if len(x) != r.dim {
+		panic(fmt.Sprintf("knn: query dim %d, trained dim %d", len(x), r.dim))
+	}
+	h := make(maxHeap, 0, r.k)
+	r.search(r.root, x, &h)
+	res := make([]neighbour, len(h))
+	copy(res, h)
+	sort.Slice(res, func(i, j int) bool { return res[i].d2 < res[j].d2 })
+	idx = make([]int, len(res))
+	d2 = make([]float64, len(res))
+	for i, n := range res {
+		idx[i] = n.idx
+		d2[i] = n.d2
+	}
+	return idx, d2
+}
+
+func (r *Regressor) search(n *node, x []float64, h *maxHeap) {
+	if n == nil {
+		return
+	}
+	p := r.pts[n.idx]
+	h.push(neighbour{idx: n.idx, d2: dist2(x, p.x)}, r.k)
+	delta := x[n.axis] - p.x[n.axis]
+	near, far := n.left, n.right
+	if delta > 0 {
+		near, far = far, near
+	}
+	r.search(near, x, h)
+	if len(*h) < r.k || delta*delta < h.worst() {
+		r.search(far, x, h)
+	}
+}
+
+// Predict writes the mean output of the k nearest neighbours of x into out,
+// which must have the trained output dimension. It panics when the model
+// has not been fitted; callers are expected to fall back to full adaptive
+// quadrature on the first step, as Algorithm 1 does.
+func (r *Regressor) Predict(x []float64, out []float64) {
+	if r.root == nil {
+		panic("knn: Predict before Fit")
+	}
+	if len(out) != r.outDim {
+		panic(fmt.Sprintf("knn: out dim %d, trained %d", len(out), r.outDim))
+	}
+	idx, _ := r.Neighbors(x)
+	for i := range out {
+		out[i] = 0
+	}
+	for _, j := range idx {
+		for c, v := range r.pts[j].y {
+			out[c] += v
+		}
+	}
+	inv := 1 / float64(len(idx))
+	for i := range out {
+		out[i] *= inv
+	}
+}
+
+// PredictWeighted writes the inverse-distance-weighted mean of the k
+// nearest neighbours into out. Exact matches dominate through a small
+// distance floor, so a query at a training point reproduces its label.
+func (r *Regressor) PredictWeighted(x []float64, out []float64) {
+	if r.root == nil {
+		panic("knn: PredictWeighted before Fit")
+	}
+	if len(out) != r.outDim {
+		panic(fmt.Sprintf("knn: out dim %d, trained %d", len(out), r.outDim))
+	}
+	idx, d2 := r.Neighbors(x)
+	for i := range out {
+		out[i] = 0
+	}
+	var wsum float64
+	for i, j := range idx {
+		w := 1 / math.Sqrt(d2[i]+1e-24)
+		wsum += w
+		for c, v := range r.pts[j].y {
+			out[c] += w * v
+		}
+	}
+	inv := 1 / wsum
+	for i := range out {
+		out[i] *= inv
+	}
+}
+
+// OutDim returns the trained output dimension (0 before Fit).
+func (r *Regressor) OutDim() int { return r.outDim }

@@ -1,0 +1,201 @@
+package knn
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"beamdyn/internal/rng"
+)
+
+func TestExactNeighborRecovery(t *testing.T) {
+	// Query at a training point with k=1 must return that point's label.
+	x := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0.5, 0.5}}
+	y := [][]float64{{1}, {2}, {3}, {4}, {5}}
+	r := New(1)
+	r.Fit(x, y)
+	out := make([]float64, 1)
+	for i := range x {
+		r.Predict(x[i], out)
+		if out[0] != y[i][0] {
+			t.Fatalf("query at training point %d gave %g, want %g", i, out[0], y[i][0])
+		}
+	}
+}
+
+func TestNeighborsMatchBruteForce(t *testing.T) {
+	src := rng.New(9)
+	const n, k = 500, 7
+	x := make([][]float64, n)
+	y := make([][]float64, n)
+	for i := range x {
+		x[i] = []float64{src.Float64(), src.Float64(), src.Float64()}
+		y[i] = []float64{float64(i)}
+	}
+	r := New(k)
+	r.Fit(x, y)
+	for q := 0; q < 50; q++ {
+		query := []float64{src.Float64(), src.Float64(), src.Float64()}
+		idx, d2 := r.Neighbors(query)
+		if len(idx) != k {
+			t.Fatalf("got %d neighbours, want %d", len(idx), k)
+		}
+		// Brute force reference.
+		type nd struct {
+			i int
+			d float64
+		}
+		all := make([]nd, n)
+		for i := range x {
+			var d float64
+			for j := range query {
+				diff := x[i][j] - query[j]
+				d += diff * diff
+			}
+			all[i] = nd{i, d}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+		for i := 0; i < k; i++ {
+			if math.Abs(d2[i]-all[i].d) > 1e-12 {
+				t.Fatalf("neighbour %d distance %g, brute force %g", i, d2[i], all[i].d)
+			}
+		}
+	}
+}
+
+func TestPredictAveragesNeighbors(t *testing.T) {
+	// Four symmetric training points around the query: the k=4 mean is the
+	// label average.
+	x := [][]float64{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	y := [][]float64{{1, 10}, {2, 20}, {3, 30}, {4, 40}}
+	r := New(4)
+	r.Fit(x, y)
+	out := make([]float64, 2)
+	r.Predict([]float64{0, 0}, out)
+	if math.Abs(out[0]-2.5) > 1e-12 || math.Abs(out[1]-25) > 1e-12 {
+		t.Fatalf("mean prediction %v", out)
+	}
+}
+
+func TestPredictWeightedPrefersCloser(t *testing.T) {
+	x := [][]float64{{0, 0}, {10, 0}}
+	y := [][]float64{{1}, {100}}
+	r := New(2)
+	r.Fit(x, y)
+	out := make([]float64, 1)
+	r.PredictWeighted([]float64{0.1, 0}, out)
+	if out[0] > 10 {
+		t.Fatalf("weighted prediction %g ignores proximity", out[0])
+	}
+	// At a training point the weighting must essentially reproduce it.
+	r.PredictWeighted([]float64{0, 0}, out)
+	if math.Abs(out[0]-1) > 1e-6 {
+		t.Fatalf("weighted prediction at training point = %g", out[0])
+	}
+}
+
+func TestSmoothFunctionRegression(t *testing.T) {
+	// kNN regression of a smooth 2-D function on a grid must interpolate
+	// to within the local variation.
+	f := func(x, y float64) float64 { return math.Sin(3*x) + math.Cos(2*y) }
+	var xs, ys [][]float64
+	for i := 0; i <= 40; i++ {
+		for j := 0; j <= 40; j++ {
+			x, y := float64(i)/40, float64(j)/40
+			xs = append(xs, []float64{x, y})
+			ys = append(ys, []float64{f(x, y)})
+		}
+	}
+	r := New(4)
+	r.Fit(xs, ys)
+	src := rng.New(4)
+	out := make([]float64, 1)
+	for q := 0; q < 200; q++ {
+		x, y := src.Float64(), src.Float64()
+		r.Predict([]float64{x, y}, out)
+		if math.Abs(out[0]-f(x, y)) > 0.05 {
+			t.Fatalf("prediction at (%g,%g): %g vs %g", x, y, out[0], f(x, y))
+		}
+	}
+}
+
+func TestFitReplacesTrainingSet(t *testing.T) {
+	r := New(1)
+	r.Fit([][]float64{{0}}, [][]float64{{1}})
+	r.Fit([][]float64{{0}}, [][]float64{{2}})
+	out := make([]float64, 1)
+	r.Predict([]float64{0}, out)
+	if out[0] != 2 {
+		t.Fatalf("stale training data: got %g", out[0])
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestFitEmptyClears(t *testing.T) {
+	r := New(2)
+	r.Fit([][]float64{{0}, {1}}, [][]float64{{1}, {2}})
+	r.Fit(nil, nil)
+	if r.Trained() {
+		t.Fatal("empty Fit left model trained")
+	}
+}
+
+func TestKSmallerThanTrainingSet(t *testing.T) {
+	r := New(10)
+	r.Fit([][]float64{{0}, {1}, {2}}, [][]float64{{1}, {2}, {3}})
+	idx, _ := r.Neighbors([]float64{0})
+	if len(idx) != 3 {
+		t.Fatalf("got %d neighbours from a 3-point set", len(idx))
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	cases := []func(){
+		func() { New(0) },
+		func() { New(1).Predict([]float64{0}, make([]float64, 1)) },
+		func() {
+			r := New(1)
+			r.Fit([][]float64{{0, 0}}, [][]float64{{1}})
+			r.Predict([]float64{0}, make([]float64, 1)) // wrong dim
+		},
+		func() {
+			r := New(1)
+			r.Fit([][]float64{{0}}, [][]float64{{1}})
+			r.Predict([]float64{0}, make([]float64, 2)) // wrong out dim
+		},
+		func() { New(1).Fit([][]float64{{0}}, nil) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNeighborsPropertySortedDistances(t *testing.T) {
+	check := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 20 + src.Intn(100)
+		x := make([][]float64, n)
+		y := make([][]float64, n)
+		for i := range x {
+			x[i] = []float64{src.Float64(), src.Float64()}
+			y[i] = []float64{src.Float64()}
+		}
+		r := New(5)
+		r.Fit(x, y)
+		_, d2 := r.Neighbors([]float64{src.Float64(), src.Float64()})
+		return sort.Float64sAreSorted(d2)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

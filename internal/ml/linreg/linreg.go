@@ -1,0 +1,169 @@
+// Package linreg implements multi-output ordinary least-squares linear
+// regression solved through the normal equations with a Cholesky
+// factorisation and Tikhonov damping for rank-deficient designs.
+//
+// The paper (Section III.B.1) reports that linear regression performs
+// within noise of kNN for access-pattern forecasting; this package provides
+// that alternative predictor for the ablation benchmarks.
+package linreg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a fitted linear map y ≈ W^T [1, x]. The zero value is an
+// untrained model; Fit trains (and re-trains) it.
+type Model struct {
+	dim    int
+	outDim int
+	// w is (dim+1) x outDim, row 0 the intercept.
+	w [][]float64
+	// Ridge is the Tikhonov damping added to the Gram diagonal. Zero means
+	// the default of 1e-9 * trace-scale, which only activates for
+	// rank-deficient designs.
+	Ridge float64
+}
+
+// Trained reports whether Fit has been called successfully.
+func (m *Model) Trained() bool { return m.w != nil }
+
+// Fit computes the least-squares weights for the examples (x[i], y[i]).
+// All rows must share dimensions and len(x) must be at least dim+1 for a
+// well-posed fit (fewer rows still fit through the ridge term).
+func (m *Model) Fit(x, y [][]float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("linreg: %d inputs, %d outputs", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return fmt.Errorf("linreg: empty training set")
+	}
+	d := len(x[0])
+	q := len(y[0])
+	n := d + 1 // augmented with intercept column
+	// Gram matrix A = X^T X and right-hand side B = X^T Y with the
+	// augmented design matrix X = [1, x].
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	b := make([][]float64, n)
+	for i := range b {
+		b[i] = make([]float64, q)
+	}
+	xi := make([]float64, n)
+	for r := range x {
+		if len(x[r]) != d || len(y[r]) != q {
+			return fmt.Errorf("linreg: ragged training matrix at row %d", r)
+		}
+		xi[0] = 1
+		copy(xi[1:], x[r])
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				a[i][j] += xi[i] * xi[j]
+			}
+			for c := 0; c < q; c++ {
+				b[i][c] += xi[i] * y[r][c]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			a[i][j] = a[j][i]
+		}
+	}
+	ridge := m.Ridge
+	if ridge == 0 {
+		var tr float64
+		for i := 0; i < n; i++ {
+			tr += a[i][i]
+		}
+		ridge = 1e-9 * (tr/float64(n) + 1)
+	}
+	for i := 0; i < n; i++ {
+		a[i][i] += ridge
+	}
+	l, err := cholesky(a)
+	if err != nil {
+		return err
+	}
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, q)
+	}
+	// Solve L L^T W = B column by column.
+	for c := 0; c < q; c++ {
+		// forward substitution: L z = b
+		z := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := b[i][c]
+			for k := 0; k < i; k++ {
+				s -= l[i][k] * z[k]
+			}
+			z[i] = s / l[i][i]
+		}
+		// back substitution: L^T w = z
+		for i := n - 1; i >= 0; i-- {
+			s := z[i]
+			for k := i + 1; k < n; k++ {
+				s -= l[k][i] * w[k][c]
+			}
+			w[i][c] = s / l[i][i]
+		}
+	}
+	m.dim, m.outDim, m.w = d, q, w
+	return nil
+}
+
+// cholesky returns the lower-triangular factor of the symmetric positive
+// definite matrix a.
+func cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a[i][j]
+			for k := 0; k < j; k++ {
+				s -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("linreg: matrix not positive definite at %d", i)
+				}
+				l[i][j] = math.Sqrt(s)
+			} else {
+				l[i][j] = s / l[j][j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// Predict writes W^T [1, x] into out, which must have the trained output
+// dimension.
+func (m *Model) Predict(x []float64, out []float64) {
+	if m.w == nil {
+		panic("linreg: Predict before Fit")
+	}
+	if len(x) != m.dim {
+		panic(fmt.Sprintf("linreg: query dim %d, trained %d", len(x), m.dim))
+	}
+	if len(out) != m.outDim {
+		panic(fmt.Sprintf("linreg: out dim %d, trained %d", len(out), m.outDim))
+	}
+	for c := 0; c < m.outDim; c++ {
+		out[c] = m.w[0][c]
+	}
+	for i, xi := range x {
+		row := m.w[i+1]
+		for c := 0; c < m.outDim; c++ {
+			out[c] += xi * row[c]
+		}
+	}
+}
+
+// OutDim returns the trained output dimension (0 before Fit).
+func (m *Model) OutDim() int { return m.outDim }

@@ -1,0 +1,116 @@
+package linreg
+
+import (
+	"math"
+	"testing"
+
+	"beamdyn/internal/rng"
+)
+
+func TestRecoversExactLinearMap(t *testing.T) {
+	// y0 = 2 + 3x0 - x1, y1 = -1 + 0.5x0 + 4x1
+	src := rng.New(5)
+	var xs, ys [][]float64
+	for i := 0; i < 200; i++ {
+		x0, x1 := src.Float64()*10, src.Float64()*10
+		xs = append(xs, []float64{x0, x1})
+		ys = append(ys, []float64{2 + 3*x0 - x1, -1 + 0.5*x0 + 4*x1})
+	}
+	var m Model
+	if err := m.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 2)
+	for q := 0; q < 50; q++ {
+		x0, x1 := src.Float64()*10, src.Float64()*10
+		m.Predict([]float64{x0, x1}, out)
+		if math.Abs(out[0]-(2+3*x0-x1)) > 1e-6 {
+			t.Fatalf("y0 prediction off: %g", out[0]-(2+3*x0-x1))
+		}
+		if math.Abs(out[1]-(-1+0.5*x0+4*x1)) > 1e-6 {
+			t.Fatalf("y1 prediction off: %g", out[1]-(-1+0.5*x0+4*x1))
+		}
+	}
+}
+
+func TestLeastSquaresMinimisesResidual(t *testing.T) {
+	// Noisy linear data: the fitted slope must be close to truth and the
+	// residual below the noise floor times a constant.
+	src := rng.New(11)
+	var xs, ys [][]float64
+	for i := 0; i < 2000; i++ {
+		x := src.Float64() * 4
+		xs = append(xs, []float64{x})
+		ys = append(ys, []float64{1 + 2*x + 0.1*src.Norm()})
+	}
+	var m Model
+	if err := m.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 1)
+	m.Predict([]float64{0}, out)
+	intercept := out[0]
+	m.Predict([]float64{1}, out)
+	slope := out[0] - intercept
+	if math.Abs(slope-2) > 0.02 || math.Abs(intercept-1) > 0.02 {
+		t.Fatalf("fit slope=%g intercept=%g", slope, intercept)
+	}
+}
+
+func TestRankDeficientDesignStillFits(t *testing.T) {
+	// Duplicate column: the ridge term must keep Cholesky positive
+	// definite.
+	xs := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	ys := [][]float64{{2}, {4}, {6}, {8}}
+	var m Model
+	if err := m.Fit(xs, ys); err != nil {
+		t.Fatalf("rank-deficient fit failed: %v", err)
+	}
+	out := make([]float64, 1)
+	m.Predict([]float64{5, 5}, out)
+	if math.Abs(out[0]-10) > 0.01 {
+		t.Fatalf("prediction %g, want ~10", out[0])
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	var m Model
+	if err := m.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit must error")
+	}
+	if err := m.Fit([][]float64{{1}}, [][]float64{{1}, {2}}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if err := m.Fit([][]float64{{1}, {1, 2}}, [][]float64{{1}, {2}}); err == nil {
+		t.Fatal("ragged design must error")
+	}
+	if m.Trained() {
+		t.Fatal("failed fits must not mark model trained")
+	}
+}
+
+func TestPredictPanicsUntrained(t *testing.T) {
+	var m Model
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Predict before Fit did not panic")
+		}
+	}()
+	m.Predict([]float64{1}, make([]float64, 1))
+}
+
+func TestRefitReplacesModel(t *testing.T) {
+	var m Model
+	xs := [][]float64{{0}, {1}, {2}}
+	if err := m.Fit(xs, [][]float64{{0}, {1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(xs, [][]float64{{0}, {2}, {4}}); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 1)
+	m.Predict([]float64{3}, out)
+	if math.Abs(out[0]-6) > 1e-6 {
+		t.Fatalf("refit prediction %g, want 6", out[0])
+	}
+}

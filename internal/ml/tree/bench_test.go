@@ -1,0 +1,38 @@
+package tree
+
+import (
+	"testing"
+
+	"beamdyn/internal/rng"
+)
+
+func dataset(n int, seed uint64) (x, y [][]float64) {
+	src := rng.New(seed)
+	for i := 0; i < n; i++ {
+		a, b := src.Float64(), src.Float64()
+		x = append(x, []float64{a, b})
+		y = append(y, []float64{a*a + b, a - b})
+	}
+	return x, y
+}
+
+func BenchmarkFit4096(b *testing.B) {
+	x, y := dataset(4096, 1)
+	r := New(Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Fit(x, y)
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	x, y := dataset(4096, 1)
+	r := New(Config{})
+	r.Fit(x, y)
+	out := make([]float64, 2)
+	q := []float64{0.4, 0.6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Predict(q, out)
+	}
+}

@@ -1,0 +1,256 @@
+// Package tree implements a multi-output CART regression tree.
+//
+// The paper's future-work section proposes studying the effect of
+// different learning algorithms on access-pattern forecasting beyond the
+// kNN and linear-regression models of Section III.B; a regression tree is
+// the natural next candidate: it is non-parametric like kNN but predicts
+// in O(depth) instead of O(log n) with neighbour search, and it captures
+// the sharp pattern transitions (visibility fronts) that linear models
+// smooth over.
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Config controls tree growth.
+type Config struct {
+	// MaxDepth bounds the tree depth; 0 means 12.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf; 0 means 4.
+	MinLeaf int
+	// MinImpurityDecrease prunes splits whose total variance reduction
+	// falls below it (absolute); 0 means 1e-12.
+	MinImpurityDecrease float64
+}
+
+func (c *Config) fill() {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf == 0 {
+		c.MinLeaf = 4
+	}
+	if c.MinImpurityDecrease == 0 {
+		c.MinImpurityDecrease = 1e-12
+	}
+}
+
+// Regressor is a fitted regression tree. The zero value is untrained; use
+// Fit (which also re-trains).
+type Regressor struct {
+	cfg    Config
+	dim    int
+	outDim int
+	nodes  []node
+}
+
+// node is one tree node; leaves carry the mean output of their samples.
+type node struct {
+	// feature < 0 marks a leaf.
+	feature     int
+	threshold   float64
+	left, right int32
+	// value is the leaf prediction (nil for internal nodes).
+	value []float64
+}
+
+// New returns a regressor with the given configuration.
+func New(cfg Config) *Regressor {
+	cfg.fill()
+	return &Regressor{cfg: cfg}
+}
+
+// Trained reports whether the tree has been fitted.
+func (r *Regressor) Trained() bool { return len(r.nodes) > 0 }
+
+// Depth returns the fitted tree's depth (0 for a stump/untrained).
+func (r *Regressor) Depth() int {
+	var walk func(i int32) int
+	walk = func(i int32) int {
+		n := &r.nodes[i]
+		if n.feature < 0 {
+			return 0
+		}
+		l, rr := walk(n.left), walk(n.right)
+		if l > rr {
+			return l + 1
+		}
+		return rr + 1
+	}
+	if !r.Trained() {
+		return 0
+	}
+	return walk(0)
+}
+
+// Leaves returns the number of leaves.
+func (r *Regressor) Leaves() int {
+	c := 0
+	for i := range r.nodes {
+		if r.nodes[i].feature < 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// Fit grows the tree on (x, y), replacing any previous fit. Rows must
+// share dimensions.
+func (r *Regressor) Fit(x, y [][]float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tree: %d inputs, %d outputs", len(x), len(y)))
+	}
+	r.nodes = r.nodes[:0]
+	if len(x) == 0 {
+		return
+	}
+	r.dim = len(x[0])
+	r.outDim = len(y[0])
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	r.grow(x, y, idx, 0)
+}
+
+// grow builds the subtree over the sample set idx and returns its node
+// index.
+func (r *Regressor) grow(x, y [][]float64, idx []int, depth int) int32 {
+	self := int32(len(r.nodes))
+	r.nodes = append(r.nodes, node{feature: -1})
+
+	mean := r.meanOf(y, idx)
+	if depth >= r.cfg.MaxDepth || len(idx) < 2*r.cfg.MinLeaf {
+		r.nodes[self].value = mean
+		return self
+	}
+	feature, threshold, gain := r.bestSplit(x, y, idx)
+	if feature < 0 || gain < r.cfg.MinImpurityDecrease {
+		r.nodes[self].value = mean
+		return self
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < r.cfg.MinLeaf || len(right) < r.cfg.MinLeaf {
+		r.nodes[self].value = mean
+		return self
+	}
+	r.nodes[self].feature = feature
+	r.nodes[self].threshold = threshold
+	l := r.grow(x, y, left, depth+1)
+	rr := r.grow(x, y, right, depth+1)
+	r.nodes[self].left, r.nodes[self].right = l, rr
+	return self
+}
+
+func (r *Regressor) meanOf(y [][]float64, idx []int) []float64 {
+	mean := make([]float64, r.outDim)
+	for _, i := range idx {
+		for c, v := range y[i] {
+			mean[c] += v
+		}
+	}
+	inv := 1 / float64(len(idx))
+	for c := range mean {
+		mean[c] *= inv
+	}
+	return mean
+}
+
+// bestSplit scans every feature for the threshold that maximises the
+// multi-output variance reduction, using the running-sums formulation so
+// each feature costs one sort plus one linear pass.
+func (r *Regressor) bestSplit(x, y [][]float64, idx []int) (feature int, threshold, gain float64) {
+	feature = -1
+	n := float64(len(idx))
+
+	total := make([]float64, r.outDim)
+	totalSq := make([]float64, r.outDim)
+	for _, i := range idx {
+		for c, v := range y[i] {
+			total[c] += v
+			totalSq[c] += v * v
+		}
+	}
+	var parentSSE float64
+	for c := 0; c < r.outDim; c++ {
+		parentSSE += totalSq[c] - total[c]*total[c]/n
+	}
+
+	order := make([]int, len(idx))
+	leftSum := make([]float64, r.outDim)
+	leftSq := make([]float64, r.outDim)
+	for f := 0; f < r.dim; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+		for c := range leftSum {
+			leftSum[c], leftSq[c] = 0, 0
+		}
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			for c, v := range y[i] {
+				leftSum[c] += v
+				leftSq[c] += v * v
+			}
+			if x[order[k]][f] == x[order[k+1]][f] {
+				continue // cannot split between equal values
+			}
+			nl := float64(k + 1)
+			nr := n - nl
+			var sse float64
+			for c := 0; c < r.outDim; c++ {
+				rightSum := total[c] - leftSum[c]
+				rightSq := totalSq[c] - leftSq[c]
+				sse += leftSq[c] - leftSum[c]*leftSum[c]/nl
+				sse += rightSq - rightSum*rightSum/nr
+			}
+			if g := parentSSE - sse; g > gain {
+				gain = g
+				feature = f
+				threshold = 0.5 * (x[order[k]][f] + x[order[k+1]][f])
+			}
+		}
+	}
+	if math.IsNaN(gain) {
+		return -1, 0, 0
+	}
+	return feature, threshold, gain
+}
+
+// Predict writes the leaf mean for x into out.
+func (r *Regressor) Predict(x, out []float64) {
+	if !r.Trained() {
+		panic("tree: Predict before Fit")
+	}
+	if len(x) != r.dim {
+		panic(fmt.Sprintf("tree: query dim %d, trained %d", len(x), r.dim))
+	}
+	if len(out) != r.outDim {
+		panic(fmt.Sprintf("tree: out dim %d, trained %d", len(out), r.outDim))
+	}
+	i := int32(0)
+	for {
+		n := &r.nodes[i]
+		if n.feature < 0 {
+			copy(out, n.value)
+			return
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// OutDim returns the trained output dimension (0 before Fit).
+func (r *Regressor) OutDim() int { return r.outDim }

@@ -1,0 +1,166 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"beamdyn/internal/rng"
+)
+
+func TestStepFunctionExactRecovery(t *testing.T) {
+	// A tree must capture a sharp step that smooth models blur.
+	var xs, ys [][]float64
+	for i := 0; i < 200; i++ {
+		v := float64(i) / 200
+		xs = append(xs, []float64{v})
+		if v < 0.5 {
+			ys = append(ys, []float64{1})
+		} else {
+			ys = append(ys, []float64{5})
+		}
+	}
+	r := New(Config{})
+	r.Fit(xs, ys)
+	out := make([]float64, 1)
+	r.Predict([]float64{0.2}, out)
+	if out[0] != 1 {
+		t.Fatalf("left of step: %g", out[0])
+	}
+	r.Predict([]float64{0.8}, out)
+	if out[0] != 5 {
+		t.Fatalf("right of step: %g", out[0])
+	}
+}
+
+func TestSmooth2DRegression(t *testing.T) {
+	f := func(x, y float64) float64 { return math.Sin(2*x) + y*y }
+	var xs, ys [][]float64
+	for i := 0; i <= 60; i++ {
+		for j := 0; j <= 60; j++ {
+			x, y := float64(i)/60, float64(j)/60
+			xs = append(xs, []float64{x, y})
+			ys = append(ys, []float64{f(x, y)})
+		}
+	}
+	r := New(Config{MaxDepth: 14, MinLeaf: 2})
+	r.Fit(xs, ys)
+	src := rng.New(3)
+	out := make([]float64, 1)
+	var worst float64
+	for q := 0; q < 200; q++ {
+		x, y := src.Float64(), src.Float64()
+		r.Predict([]float64{x, y}, out)
+		if d := math.Abs(out[0] - f(x, y)); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.1 {
+		t.Fatalf("worst error %g on a smooth target", worst)
+	}
+}
+
+func TestMultiOutput(t *testing.T) {
+	var xs, ys [][]float64
+	for i := 0; i < 100; i++ {
+		v := float64(i)
+		xs = append(xs, []float64{v})
+		ys = append(ys, []float64{v * 2, -v})
+	}
+	r := New(Config{MaxDepth: 10, MinLeaf: 1})
+	r.Fit(xs, ys)
+	out := make([]float64, 2)
+	r.Predict([]float64{50}, out)
+	if math.Abs(out[0]-100) > 3 || math.Abs(out[1]+50) > 2 {
+		t.Fatalf("multi-output prediction %v", out)
+	}
+	if r.OutDim() != 2 {
+		t.Fatalf("OutDim = %d", r.OutDim())
+	}
+}
+
+func TestDepthAndLeafConstraints(t *testing.T) {
+	var xs, ys [][]float64
+	src := rng.New(7)
+	for i := 0; i < 500; i++ {
+		xs = append(xs, []float64{src.Float64()})
+		ys = append(ys, []float64{src.Float64()})
+	}
+	r := New(Config{MaxDepth: 3, MinLeaf: 10})
+	r.Fit(xs, ys)
+	if d := r.Depth(); d > 3 {
+		t.Fatalf("depth %d exceeds max 3", d)
+	}
+	if l := r.Leaves(); l > 8 {
+		t.Fatalf("%d leaves from depth-3 tree", l)
+	}
+}
+
+func TestConstantTargetSingleLeaf(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}
+	ys := [][]float64{{9}, {9}, {9}, {9}, {9}, {9}, {9}, {9}}
+	r := New(Config{})
+	r.Fit(xs, ys)
+	if r.Leaves() != 1 {
+		t.Fatalf("constant target grew %d leaves", r.Leaves())
+	}
+	out := make([]float64, 1)
+	r.Predict([]float64{100}, out)
+	if out[0] != 9 {
+		t.Fatalf("prediction %g", out[0])
+	}
+}
+
+func TestDuplicateFeatureValues(t *testing.T) {
+	// All x identical: no legal split, must become a leaf with the mean.
+	xs := [][]float64{{1}, {1}, {1}, {1}}
+	ys := [][]float64{{0}, {2}, {4}, {6}}
+	r := New(Config{MinLeaf: 1})
+	r.Fit(xs, ys)
+	out := make([]float64, 1)
+	r.Predict([]float64{1}, out)
+	if out[0] != 3 {
+		t.Fatalf("mean prediction %g, want 3", out[0])
+	}
+}
+
+func TestRefitReplaces(t *testing.T) {
+	r := New(Config{MinLeaf: 1})
+	r.Fit([][]float64{{0}, {1}}, [][]float64{{1}, {1}})
+	r.Fit([][]float64{{0}, {1}}, [][]float64{{7}, {7}})
+	out := make([]float64, 1)
+	r.Predict([]float64{0}, out)
+	if out[0] != 7 {
+		t.Fatalf("stale fit: %g", out[0])
+	}
+}
+
+func TestEmptyFitUntrains(t *testing.T) {
+	r := New(Config{})
+	r.Fit([][]float64{{1}}, [][]float64{{1}})
+	r.Fit(nil, nil)
+	if r.Trained() {
+		t.Fatal("empty fit left tree trained")
+	}
+}
+
+func TestPredictPanics(t *testing.T) {
+	r := New(Config{})
+	cases := []func(){
+		func() { r.Predict([]float64{1}, make([]float64, 1)) }, // untrained
+		func() {
+			r.Fit([][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}, {11, 12}, {13, 14}, {15, 16}},
+				[][]float64{{1}, {1}, {1}, {1}, {1}, {1}, {1}, {1}})
+			r.Predict([]float64{1}, make([]float64, 1)) // wrong in-dim
+		},
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

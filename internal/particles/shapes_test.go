@@ -1,0 +1,85 @@
+package particles
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllShapesHaveUnitRMSScaling(t *testing.T) {
+	b := beam(200000)
+	for _, shape := range []Shape{GaussianShape, FlatTopShape, DoubleGaussianShape, ParabolicShape} {
+		e := NewShaped(b, shape, 11)
+		st := e.Stats()
+		if math.Abs(st.SigmaY-b.SigmaY)/b.SigmaY > 0.02 {
+			t.Errorf("%v: sigma_y = %g, want %g", shape, st.SigmaY, b.SigmaY)
+		}
+		if math.Abs(st.SigmaX-b.SigmaX)/b.SigmaX > 0.02 {
+			t.Errorf("%v: sigma_x = %g, want %g", shape, st.SigmaX, b.SigmaX)
+		}
+		if math.Abs(st.MeanY) > 0.02*b.SigmaY {
+			t.Errorf("%v: centroid %g off zero", shape, st.MeanY)
+		}
+	}
+}
+
+func TestFlatTopIsBounded(t *testing.T) {
+	b := beam(20000)
+	e := NewShaped(b, FlatTopShape, 3)
+	bound := math.Sqrt(3)*b.SigmaY + 1e-12
+	for _, p := range e.P {
+		if math.Abs(p.Y) > bound {
+			t.Fatalf("flat-top sample %g beyond sqrt(3) sigma", p.Y/b.SigmaY)
+		}
+	}
+}
+
+func TestParabolicIsBounded(t *testing.T) {
+	b := beam(20000)
+	e := NewShaped(b, ParabolicShape, 3)
+	bound := math.Sqrt(5)*b.SigmaY + 1e-9
+	for _, p := range e.P {
+		if math.Abs(p.Y) > bound {
+			t.Fatalf("parabolic sample %g beyond sqrt(5) sigma", p.Y/b.SigmaY)
+		}
+	}
+}
+
+func TestDoubleGaussianIsBimodal(t *testing.T) {
+	b := beam(100000)
+	e := NewShaped(b, DoubleGaussianShape, 7)
+	// Count samples near the centre vs near the lobes: the centre must be
+	// a local minimum.
+	var centre, lobe int
+	d := math.Sqrt(3) / 2 * b.SigmaY
+	for _, p := range e.P {
+		if math.Abs(p.Y) < 0.15*b.SigmaY {
+			centre++
+		}
+		if math.Abs(math.Abs(p.Y)-d) < 0.15*b.SigmaY {
+			lobe++
+		}
+	}
+	if lobe <= 2*centre {
+		t.Fatalf("not bimodal: %d near lobes vs %d near centre", lobe, centre)
+	}
+}
+
+func TestGaussianShapeMatchesMoments(t *testing.T) {
+	b := beam(100000)
+	e := NewShaped(b, GaussianShape, 5)
+	// Fourth moment of a Gaussian: <y^4> = 3 sigma^4.
+	var m4 float64
+	for _, p := range e.P {
+		m4 += math.Pow(p.Y/b.SigmaY, 4)
+	}
+	m4 /= float64(len(e.P))
+	if math.Abs(m4-3) > 0.15 {
+		t.Fatalf("gaussian kurtosis %g, want 3", m4)
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if GaussianShape.String() != "gaussian" || Shape(99).String() == "" {
+		t.Fatal("shape names broken")
+	}
+}

@@ -1,0 +1,233 @@
+// Package plot renders simple line/scatter charts as standalone SVG
+// documents, so the figure regenerators can emit actual figures (Fig. 2
+// force profiles, Fig. 3 log-log convergence, Fig. 4 roofline) without
+// external dependencies.
+//
+// The feature set is deliberately small: linear and log10 axes with tick
+// labels, line and marker series, a legend, and a title. Everything is
+// computed in float64 user space and mapped to a fixed-size viewport.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one plotted dataset.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// X, Y are the data points (equal length).
+	X, Y []float64
+	// Line draws a polyline through the points; Markers draws circles at
+	// them. At least one should be set.
+	Line, Markers bool
+	// Dashed draws the polyline dashed (reference curves).
+	Dashed bool
+}
+
+// Chart is a 2-D chart specification.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX, LogY select log10 axes; all data on that axis must be > 0.
+	LogX, LogY bool
+	Series     []Series
+
+	// W, H are the viewport size in pixels; 0 means 720x480.
+	W, H int
+}
+
+// palette is a colour-blind-safe cycle.
+var palette = []string{"#0072b2", "#d55e00", "#009e73", "#cc79a7", "#56b4e9", "#e69f00"}
+
+const margin = 64.0
+
+// WriteSVG renders the chart.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	if c.W == 0 {
+		c.W = 720
+	}
+	if c.H == 0 {
+		c.H = 480
+	}
+	xmin, xmax, ymin, ymax, err := c.bounds()
+	if err != nil {
+		return err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="12">`+"\n",
+		c.W, c.H, c.W, c.H)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", c.W, c.H)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" text-anchor="middle" font-size="15">%s</text>`+"\n", c.W/2, escape(c.Title))
+	}
+
+	plotW := float64(c.W) - 2*margin
+	plotH := float64(c.H) - 2*margin
+	px := func(x float64) float64 { return margin + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(c.H) - margin - (y-ymin)/(ymax-ymin)*plotH }
+
+	// Frame and ticks.
+	fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="#444"/>`+"\n",
+		margin, margin, plotW, plotH)
+	for _, tx := range ticks(xmin, xmax, c.LogX) {
+		x := px(tx)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ccc"/>`+"\n",
+			x, margin, x, float64(c.H)-margin)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n",
+			x, float64(c.H)-margin+18, tickLabel(tx, c.LogX))
+	}
+	for _, ty := range ticks(ymin, ymax, c.LogY) {
+		y := py(ty)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ccc"/>`+"\n",
+			margin, y, float64(c.W)-margin, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end">%s</text>`+"\n",
+			margin-6, y+4, tickLabel(ty, c.LogY))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%g" text-anchor="middle">%s</text>`+"\n",
+			c.W/2, float64(c.H)-16, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="18" y="%d" text-anchor="middle" transform="rotate(-90 18 %d)">%s</text>`+"\n",
+			c.H/2, c.H/2, escape(c.YLabel))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		if s.Line {
+			var pts []string
+			for i := range s.X {
+				x, y, ok := c.mapPoint(s.X[i], s.Y[i])
+				if !ok {
+					continue
+				}
+				pts = append(pts, fmt.Sprintf("%.2f,%.2f", px(x), py(y)))
+			}
+			dash := ""
+			if s.Dashed {
+				dash = ` stroke-dasharray="6,4"`
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"%s/>`+"\n",
+				strings.Join(pts, " "), color, dash)
+		}
+		if s.Markers {
+			for i := range s.X {
+				x, y, ok := c.mapPoint(s.X[i], s.Y[i])
+				if !ok {
+					continue
+				}
+				fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="3.2" fill="%s"/>`+"\n", px(x), py(y), color)
+			}
+		}
+		// Legend entry.
+		lx := margin + 12
+		ly := margin + 18 + float64(si)*18
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly-4, lx+22, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g">%s</text>`+"\n", lx+28, ly, escape(s.Name))
+	}
+	fmt.Fprintln(&b, `</svg>`)
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// mapPoint transforms a data point into axis space, dropping points a log
+// axis cannot represent.
+func (c *Chart) mapPoint(x, y float64) (mx, my float64, ok bool) {
+	if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+		return 0, 0, false
+	}
+	if c.LogX {
+		if x <= 0 {
+			return 0, 0, false
+		}
+		x = math.Log10(x)
+	}
+	if c.LogY {
+		if y <= 0 {
+			return 0, 0, false
+		}
+		y = math.Log10(y)
+	}
+	return x, y, true
+}
+
+// bounds computes the axis-space data bounds with a small pad.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, err error) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return 0, 0, 0, 0, fmt.Errorf("plot: series %q has %d x and %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x, y, ok := c.mapPoint(s.X[i], s.Y[i])
+			if !ok {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(xmin, 0) || math.IsInf(ymin, 0) {
+		return 0, 0, 0, 0, fmt.Errorf("plot: no drawable points")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	padX, padY := 0.04*(xmax-xmin), 0.06*(ymax-ymin)
+	return xmin - padX, xmax + padX, ymin - padY, ymax + padY, nil
+}
+
+// ticks returns 5-7 round tick positions in axis space.
+func ticks(lo, hi float64, log bool) []float64 {
+	if log {
+		var out []float64
+		for e := math.Ceil(lo); e <= math.Floor(hi); e++ {
+			out = append(out, e)
+		}
+		if len(out) >= 2 {
+			return out
+		}
+		// Fewer than two decades: fall back to linear ticks in log space.
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/5)))
+	for span/step > 7 {
+		step *= 2
+	}
+	for span/step < 3 {
+		step /= 2
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+// tickLabel formats a tick (log axes show 10^e).
+func tickLabel(v float64, log bool) string {
+	if log {
+		if v == math.Trunc(v) {
+			return fmt.Sprintf("1e%d", int(v))
+		}
+		return fmt.Sprintf("%.3g", math.Pow(10, v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,112 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func linearChart() *Chart {
+	return &Chart{
+		Title:  "test chart",
+		XLabel: "x axis",
+		YLabel: "y axis",
+		Series: []Series{
+			{Name: "one", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}, Line: true},
+			{Name: "two", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}, Markers: true},
+		},
+	}
+}
+
+func TestWriteSVGStructure(t *testing.T) {
+	var b strings.Builder
+	if err := linearChart().WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	svg := b.String()
+	for _, want := range []string{"<svg", "</svg>", "test chart", "x axis", "y axis",
+		"polyline", "circle", "one", "two"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+}
+
+func TestLogAxesDropNonPositive(t *testing.T) {
+	c := &Chart{
+		LogX: true, LogY: true,
+		Series: []Series{{
+			Name: "s",
+			X:    []float64{0, 1, 10, 100},
+			Y:    []float64{-1, 1, 0.1, 0.01},
+			Line: true, Markers: true,
+		}},
+	}
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Only three drawable points -> three markers.
+	if n := strings.Count(b.String(), "<circle"); n != 3 {
+		t.Fatalf("drew %d markers, want 3 (non-positive dropped)", n)
+	}
+	if !strings.Contains(b.String(), "1e") {
+		t.Fatal("log ticks missing power-of-ten labels")
+	}
+}
+
+func TestEmptyChartErrors(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "empty", Line: true}}}
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err == nil {
+		t.Fatal("chart without drawable points must error")
+	}
+}
+
+func TestRaggedSeriesErrors(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}}}
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err == nil {
+		t.Fatal("ragged series must error")
+	}
+}
+
+func TestTicksCoverRange(t *testing.T) {
+	for _, tc := range [][2]float64{{0, 10}, {-3, 7}, {0.001, 0.009}, {100, 5000}} {
+		ts := ticks(tc[0], tc[1], false)
+		if len(ts) < 3 || len(ts) > 9 {
+			t.Fatalf("range %v: %d ticks", tc, len(ts))
+		}
+		for _, v := range ts {
+			if v < tc[0]-1e-9 || v > tc[1]+1e-9 {
+				t.Fatalf("tick %g outside %v", v, tc)
+			}
+		}
+	}
+}
+
+func TestTickLabels(t *testing.T) {
+	if tickLabel(3, true) != "1e3" {
+		t.Fatalf("log label: %s", tickLabel(3, true))
+	}
+	if tickLabel(2.5, false) != "2.5" {
+		t.Fatalf("linear label: %s", tickLabel(2.5, false))
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if escape("a<b&c>d") != "a&lt;b&amp;c&gt;d" {
+		t.Fatal("escape broken")
+	}
+}
+
+func TestConstantSeriesStillRenders(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}, Line: true}}}
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(1.0) { // keep math import honest
+		t.Fatal("unreachable")
+	}
+}

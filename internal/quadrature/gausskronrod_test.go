@@ -1,0 +1,79 @@
+package quadrature
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussKronrodPolynomialExactness(t *testing.T) {
+	// G7 is exact to degree 13, K15 to degree 22; check a high-degree
+	// polynomial integrates exactly.
+	f := func(x float64) float64 { return math.Pow(x, 13) }
+	est := GaussKronrod15(f, 0, 2)
+	want := math.Pow(2, 14) / 14
+	if math.Abs(est.I-want) > 1e-9*want {
+		t.Fatalf("x^13: got %g want %g", est.I, want)
+	}
+	if est.Evals != 15 {
+		t.Fatalf("evals = %d, want 15", est.Evals)
+	}
+	// The embedded error estimate must be ~0 for a polynomial both rules
+	// integrate exactly.
+	if est.Err > 1e-9*want {
+		t.Fatalf("error estimate %g on an exact polynomial", est.Err)
+	}
+}
+
+func TestGaussKronrodTranscendental(t *testing.T) {
+	est := GaussKronrod15(math.Exp, 0, 1)
+	want := math.E - 1
+	if math.Abs(est.I-want) > 1e-12 {
+		t.Fatalf("exp: got %g want %g", est.I, want)
+	}
+}
+
+func TestAdaptiveGKAccuracy(t *testing.T) {
+	f := func(x float64) float64 { return 1 / (1e-3 + x*x) }
+	want := math.Atan(1/math.Sqrt(1e-3)) / math.Sqrt(1e-3)
+	res := AdaptiveGK(f, 0, 1, 1e-10, 40)
+	if err := math.Abs(res.I - want); err > 1e-7 {
+		t.Fatalf("peaked integrand error %g", err)
+	}
+	if !IsSortedPartition(res.Partition) {
+		t.Fatal("partition not sorted")
+	}
+}
+
+func TestGKBeatsSimpsonOnEvaluations(t *testing.T) {
+	// For a smooth oscillatory integrand at equal tolerance, the
+	// higher-order pair must need fewer evaluations.
+	f := func(x float64) float64 { return math.Sin(15 * x) }
+	gk := AdaptiveGK(f, 0, math.Pi, 1e-10, 40)
+	sp := AdaptiveSimpson(f, 0, math.Pi, 1e-10, 40)
+	want := (1 - math.Cos(15*math.Pi)) / 15
+	if math.Abs(gk.I-want) > 1e-8 || math.Abs(sp.I-want) > 1e-8 {
+		t.Fatalf("values off: gk %g sp %g want %g", gk.I, sp.I, want)
+	}
+	if gk.Evals >= sp.Evals {
+		t.Fatalf("GK used %d evals, Simpson %d — higher order should win", gk.Evals, sp.Evals)
+	}
+}
+
+func TestAdaptiveGKZeroWidth(t *testing.T) {
+	res := AdaptiveGK(math.Exp, 1, 1, 1e-9, 10)
+	if res.I != 0 {
+		t.Fatalf("zero-width GK integral %g", res.I)
+	}
+}
+
+func TestGK15WeightsNormalised(t *testing.T) {
+	// Integrating 1 over [-1, 1] must give 2 for both embedded rules.
+	one := func(float64) float64 { return 1 }
+	est := GaussKronrod15(one, -1, 1)
+	if math.Abs(est.I-2) > 1e-12 {
+		t.Fatalf("K15 weights sum to %g, want 2", est.I)
+	}
+	if est.Err > 1e-12 {
+		t.Fatalf("G7 weights disagree: err %g", est.Err)
+	}
+}

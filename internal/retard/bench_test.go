@@ -1,0 +1,44 @@
+package retard
+
+import "testing"
+
+// BenchmarkSolvePoint measures one sequential rp-integral evaluation at
+// the bunch centre (the hottest point of the grid).
+func BenchmarkSolvePoint(b *testing.B) {
+	h, _ := buildHistory(8, 64, testParams())
+	p := NewProblem(h, testParams())
+	g := h.At(7)
+	cx := g.X0 + float64(g.NX-1)*g.DX/2
+	cy := g.Y0 + float64(g.NY-1)*g.DY/2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SolvePoint(cx, cy)
+	}
+}
+
+// BenchmarkIntegrandSample measures one 27-point retarded-moment stencil
+// sample, the innermost operation of every kernel.
+func BenchmarkIntegrandSample(b *testing.B) {
+	h, _ := buildHistory(8, 64, testParams())
+	p := NewProblem(h, testParams())
+	g := h.At(7)
+	cx := g.X0 + float64(g.NX-1)*g.DX/2
+	cy := g.Y0 + float64(g.NY-1)*g.DY/2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Sample(cx, cy, 0.5*p.SubWidth(), -1.5, nil)
+	}
+}
+
+// BenchmarkSolveGrid measures the host reference solver over a small
+// potential grid.
+func BenchmarkSolveGrid(b *testing.B) {
+	params := testParams()
+	h, _ := buildHistory(8, 32, params)
+	p := NewProblem(h, params)
+	src := h.At(7)
+	for i := 0; i < b.N; i++ {
+		target := cloneGeometry(src, 16, 16)
+		p.SolveGrid(target, 0)
+	}
+}

@@ -1,0 +1,470 @@
+// Package retard defines the retarded-potential integral (the rp-integral,
+// Equation 1 of the paper) over the moment-grid history, together with a
+// sequential reference solver.
+//
+// For a grid point p = (x, y) at time step k the potential is
+//
+//	I(p) = ∫₀^R(p) w(r′) ∫_{θmin}^{θmax} f^(p)(r′, θ′, t′) dθ′ dr′
+//
+// with retarded time t′ = kΔt − r′/c. The radial domain divides into
+// subregions S_j = [j·cΔt, (j+1)·cΔt]; integrating along S_j reads the
+// moment grids D_{k−j−1±1}, since f is approximated from 27 neighbouring
+// points — a 3×3 spatial stencil on each of three temporally adjacent
+// grids. The radial weight w carries the singular kernel of the collective
+// effect being computed (r^{−1/3} for the longitudinal CSR interaction,
+// r^{−2/3} for the transverse one); the inner angular integral uses a
+// Newton–Cotes rule over the angular window where retarded charge exists,
+// and the outer radial integral uses (adaptive) Simpson quadrature.
+package retard
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"beamdyn/internal/access"
+	"beamdyn/internal/gpusim"
+	"beamdyn/internal/grid"
+	"beamdyn/internal/phys"
+	"beamdyn/internal/quadrature"
+)
+
+// Params are the numerical parameters of an rp-integral evaluation.
+type Params struct {
+	// Dt is the simulation step size in seconds; the subregion width along
+	// the radial dimension is c·Dt.
+	Dt float64
+	// Kappa is the retardation depth: the number of radial subregions, and
+	// hence the number of historical moment grids the integral can reach.
+	Kappa int
+	// Tol is the per-point absolute error tolerance tau.
+	Tol float64
+	// Inner is the Newton-Cotes rule of the inner angular integral.
+	Inner quadrature.NewtonCotesOrder
+	// MaxDepth bounds adaptive-Simpson recursion per subregion.
+	MaxDepth int
+	// WeightExp is the exponent of the radial kernel w(r) =
+	// ((r+r0)/cΔt)^(−WeightExp); 1/3 computes the longitudinal potential,
+	// 2/3 the transverse one.
+	WeightExp float64
+	// Component selects the moment component integrated (grid.CompCharge
+	// for the charge potential).
+	Component int
+}
+
+// Validate fills defaults and panics on unusable parameters.
+func (p *Params) Validate() {
+	if p.Dt <= 0 {
+		panic("retard: Dt must be positive")
+	}
+	if p.Kappa < 1 {
+		panic("retard: Kappa must be at least 1")
+	}
+	if p.Tol <= 0 {
+		panic("retard: Tol must be positive")
+	}
+	if p.MaxDepth == 0 {
+		p.MaxDepth = 12
+	}
+}
+
+// Problem is the rp-integral evaluation problem at one time step: the grid
+// history, the step index, and precomputed retarded-support geometry.
+type Problem struct {
+	Params
+	Hist *grid.History
+	// Step is the current time step k.
+	Step int
+
+	// support[j] is the bounding box of nonzero charge on grid D_{k-j-1},
+	// the grid holding the sources seen through subregion S_j.
+	support []bbox
+	subW    float64
+	r0      float64
+	// alphaLoads is the stencil loads per integrand sample (27).
+	alphaLoads int
+}
+
+type bbox struct {
+	x0, y0, x1, y1 float64
+	empty          bool
+}
+
+// StencilLoads is the number of grid values one integrand sample reads:
+// a 3x3 spatial stencil on each of 3 temporally adjacent grids.
+const StencilLoads = 27
+
+// NewProblem prepares the rp-integral problem for the history's latest
+// step. It panics when the history does not hold the current grid.
+func NewProblem(hist *grid.History, params Params) *Problem {
+	params.Validate()
+	step := hist.Latest()
+	if step < 0 {
+		panic("retard: empty history")
+	}
+	p := &Problem{
+		Params:     params,
+		Hist:       hist,
+		Step:       step,
+		subW:       phys.C * params.Dt,
+		alphaLoads: StencilLoads,
+	}
+	p.r0 = 0.05 * p.subW // regularises the integrable kernel singularity at r=0
+	p.support = make([]bbox, p.maxSub())
+	for j := range p.support {
+		p.support[j] = chargeBBox(hist.At(step-j-1), params.Component)
+	}
+	return p
+}
+
+// maxSub returns the number of subregions actually evaluable given the
+// history depth: S_j needs grids at steps k-j-2 .. k-j, so j is bounded by
+// both Kappa and the oldest resident grid.
+func (p *Problem) maxSub() int {
+	oldest := p.Hist.Oldest()
+	n := p.Step - 2 - oldest + 1 // largest j with step k-j-2 >= oldest
+	if n > p.Kappa {
+		n = p.Kappa
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// NumSub returns the number of radial subregions of the problem.
+func (p *Problem) NumSub() int { return len(p.support) }
+
+// SubWidth returns the radial subregion width c*Dt.
+func (p *Problem) SubWidth() float64 { return p.subW }
+
+// chargeBBox scans a grid for the bounding box of cells whose component
+// magnitude exceeds a tiny fraction of the grid maximum.
+func chargeBBox(g *grid.Grid, comp int) bbox {
+	if g == nil {
+		return bbox{empty: true}
+	}
+	thresh := 1e-9 * g.MaxAbs(comp)
+	first := true
+	var b bbox
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			v := math.Abs(g.At(ix, iy, comp))
+			if v <= thresh || v == 0 {
+				continue
+			}
+			x, y := g.Point(ix, iy)
+			if first {
+				b = bbox{x0: x, y0: y, x1: x, y1: y}
+				first = false
+				continue
+			}
+			if x < b.x0 {
+				b.x0 = x
+			}
+			if x > b.x1 {
+				b.x1 = x
+			}
+			if y < b.y0 {
+				b.y0 = y
+			}
+			if y > b.y1 {
+				b.y1 = y
+			}
+		}
+	}
+	b.empty = first
+	return b
+}
+
+// R returns the irregular integration limit R(p) for the point (x, y): the
+// end of the last subregion through which retarded charge is visible,
+// clamped to the available retardation depth. Points that never see charge
+// get the first subregion only, so every rp-integral has a non-empty
+// domain (0 < R(p) <= kappa*c*dt, as in the paper).
+func (p *Problem) R(x, y float64) float64 {
+	last := 0
+	for j := range p.support {
+		if p.annulusSeesBox(x, y, j) {
+			last = j
+		}
+	}
+	return float64(last+1) * p.subW
+}
+
+// annulusSeesBox reports whether the radial annulus of subregion S_j around
+// (x, y) intersects the charge support of the grid it reads.
+func (p *Problem) annulusSeesBox(x, y float64, j int) bool {
+	b := p.support[j]
+	if b.empty {
+		return false
+	}
+	lo, hi := float64(j)*p.subW, float64(j+1)*p.subW
+	dmin, dmax := boxDistRange(x, y, b)
+	return dmax >= lo && dmin <= hi
+}
+
+// boxDistRange returns the minimum and maximum distance from (x, y) to the
+// box b.
+func boxDistRange(x, y float64, b bbox) (dmin, dmax float64) {
+	dx := math.Max(0, math.Max(b.x0-x, x-b.x1))
+	dy := math.Max(0, math.Max(b.y0-y, y-b.y1))
+	dmin = math.Hypot(dx, dy)
+	fx := math.Max(math.Abs(x-b.x0), math.Abs(x-b.x1))
+	fy := math.Max(math.Abs(y-b.y0), math.Abs(y-b.y1))
+	dmax = math.Hypot(fx, fy)
+	return dmin, dmax
+}
+
+// ThetaWindow returns the angular window [t0, t1] within which the circle
+// of radius r around (x, y) can intersect retarded charge, and ok=false
+// when there is none. The window is centred on the direction of the charge
+// box and sized from the box diagonal, the same bounding construction used
+// by the integration limits of [9].
+func (p *Problem) ThetaWindow(x, y, r float64, j int) (t0, t1 float64, ok bool) {
+	if j < 0 || j >= len(p.support) {
+		return 0, 0, false
+	}
+	b := p.support[j]
+	if b.empty {
+		return 0, 0, false
+	}
+	dmin, dmax := boxDistRange(x, y, b)
+	if r < dmin || r > dmax {
+		return 0, 0, false
+	}
+	cx, cy := 0.5*(b.x0+b.x1), 0.5*(b.y0+b.y1)
+	d := math.Hypot(cx-x, cy-y)
+	halfDiag := 0.5*math.Hypot(b.x1-b.x0, b.y1-b.y0) + 1e-300
+	if d <= halfDiag || r <= halfDiag {
+		// Point inside (or circle smaller than) the box: full circle.
+		return -math.Pi, math.Pi, true
+	}
+	center := math.Atan2(cy-y, cx-x)
+	s := halfDiag / r
+	if s > 1 {
+		s = 1
+	}
+	half := math.Asin(s) * 1.5 // 1.5x safety margin on the cone
+	if half > math.Pi {
+		half = math.Pi
+	}
+	return center - half, center + half, true
+}
+
+// Weight returns the singular radial kernel w(r).
+func (p *Problem) Weight(r float64) float64 {
+	return math.Pow((r+p.r0)/p.subW, -p.WeightExp)
+}
+
+// subregionOf returns the subregion index containing radius r.
+func (p *Problem) subregionOf(r float64) int {
+	j := int(r / p.subW)
+	if j < 0 {
+		j = 0
+	}
+	if j >= len(p.support) {
+		j = len(p.support) - 1
+	}
+	return j
+}
+
+// Sample evaluates the retarded moment value f^(p)(r, θ, t′) by the
+// 27-point stencil: quadratic temporal interpolation across D_{i-1}, D_i,
+// D_{i+1} and a 3×3 quadratic spatial stencil on each. When lane is
+// non-nil every grid read is recorded as a simulated global load and the
+// arithmetic as flops.
+func (p *Problem) Sample(x, y, r, theta float64, lane *gpusim.Lane) float64 {
+	j := p.subregionOf(r)
+	i := p.Step - j - 1
+	gm, g0, gp := p.Hist.At(i-1), p.Hist.At(i), p.Hist.At(i+1)
+	if g0 == nil {
+		return 0
+	}
+	if gm == nil {
+		gm = g0
+	}
+	if gp == nil {
+		gp = g0
+	}
+	// Retarded time fraction within [iΔt, (i+1)Δt].
+	tp := float64(p.Step) - r/p.subW // retarded time in units of Δt
+	tau := tp - float64(i)
+	// Quadratic Lagrange weights at nodes -1, 0, +1.
+	wm := 0.5 * tau * (tau - 1)
+	w0 := 1 - tau*tau
+	wp := 0.5 * tau * (tau + 1)
+
+	sx := x + r*math.Cos(theta)
+	sy := y + r*math.Sin(theta)
+	v := wm*p.sampleGrid(gm, i-1, sx, sy, lane) +
+		w0*p.sampleGrid(g0, i, sx, sy, lane) +
+		wp*p.sampleGrid(gp, i+1, sx, sy, lane)
+	if lane != nil {
+		lane.Flops(14) // trig, weights and temporal blend
+	}
+	return v
+}
+
+// sampleGrid reads the 3×3 quadratic (TSC) stencil of component
+// p.Component on grid g around the physical point (sx, sy).
+func (p *Problem) sampleGrid(g *grid.Grid, step int, sx, sy float64, lane *gpusim.Lane) float64 {
+	fx, fy := g.Cell(sx, sy)
+	ix := int(math.Round(fx))
+	iy := int(math.Round(fy))
+	if ix < 1 || iy < 1 || ix > g.NX-2 || iy > g.NY-2 {
+		return 0
+	}
+	dx := fx - float64(ix)
+	dy := fy - float64(iy)
+	wx := [3]float64{0.5 * (0.5 - dx) * (0.5 - dx), 0.75 - dx*dx, 0.5 * (0.5 + dx) * (0.5 + dx)}
+	wy := [3]float64{0.5 * (0.5 - dy) * (0.5 - dy), 0.75 - dy*dy, 0.5 * (0.5 + dy) * (0.5 + dy)}
+	var v float64
+	off := p.Component * g.NX * g.NY
+	for oy := 0; oy < 3; oy++ {
+		row := off + (iy+oy-1)*g.NX + ix - 1
+		w := wy[oy]
+		for ox := 0; ox < 3; ox++ {
+			v += w * wx[ox] * g.Data[row+ox]
+			if lane != nil {
+				addr, _ := p.Hist.Address(step, ix+ox-1, iy+oy-1, p.Component)
+				lane.Load(addr)
+			}
+		}
+	}
+	if lane != nil {
+		lane.Flops(30) // stencil weights and accumulation
+	}
+	return v
+}
+
+// Integrand returns the outer-dimension integrand at radius r: the inner
+// Newton-Cotes angular integral times the radial weight. The returned
+// function closes over (x, y) and the optional lane recorder — it is what
+// the quadrature package integrates radially.
+func (p *Problem) Integrand(x, y float64, lane *gpusim.Lane) quadrature.Func {
+	return func(r float64) float64 {
+		j := p.subregionOf(r)
+		t0, t1, ok := p.ThetaWindow(x, y, r, j)
+		if lane != nil {
+			lane.Flops(8) // window test
+		}
+		if !ok {
+			return 0
+		}
+		inner := quadrature.NewtonCotes(func(theta float64) float64 {
+			return p.Sample(x, y, r, theta, lane)
+		}, t0, t1, p.Inner)
+		if lane != nil {
+			lane.Flops(2 * p.Inner.Points())
+		}
+		return p.Weight(r) * inner
+	}
+}
+
+// Alpha returns the number of stencil memory references per radial panel
+// evaluation: Simpson's 5 outer abscissae times the inner rule's points
+// times the 27-point stencil. It is the constant alpha of Section III.A.
+func (p *Problem) Alpha() int {
+	return 5 * p.Inner.Points() * StencilLoads
+}
+
+// ObservedPattern derives the access pattern a partition implies for the
+// point (x, y): panels are attributed to the subregion containing their
+// midpoint. Subregions where no panel's angular window is non-empty are
+// zeroed, because their evaluation performs no grid references — and the
+// access pattern exists precisely to model memory references (Section
+// III.A). Zeroing whole-invisible subregions (but never discounting
+// partially visible ones, whose full panel count is a real requirement)
+// lets RP-CLUSTERING separate points that see charge in a subregion from
+// points that do not.
+func (p *Problem) ObservedPattern(x, y float64, partition []float64) access.Pattern {
+	n := p.NumSub()
+	pat := make(access.Pattern, n)
+	visible := make([]bool, n)
+	for i := 0; i+1 < len(partition); i++ {
+		mid := 0.5 * (partition[i] + partition[i+1])
+		j := p.subregionOf(mid)
+		pat[j]++
+		if !visible[j] {
+			if _, _, ok := p.ThetaWindow(x, y, mid, j); ok {
+				visible[j] = true
+			}
+		}
+	}
+	for j := range pat {
+		if !visible[j] {
+			pat[j] = 0
+		}
+	}
+	return pat
+}
+
+// PointResult is the outcome of one rp-integral evaluation.
+type PointResult struct {
+	I, Err    float64
+	Evals     int
+	Partition []float64
+	Pattern   access.Pattern
+}
+
+// SolvePoint evaluates the rp-integral at (x, y) with per-subregion
+// adaptive Simpson quadrature — the accuracy reference the predictive
+// kernels are validated against, and the source of observed access
+// patterns on the first simulation step.
+func (p *Problem) SolvePoint(x, y float64) PointResult {
+	f := p.Integrand(x, y, nil)
+	r := p.R(x, y)
+	n := p.NumSub()
+	res := PointResult{Partition: []float64{0}}
+	for j := 0; j < n; j++ {
+		a := float64(j) * p.subW
+		if a >= r {
+			break
+		}
+		b := math.Min(a+p.subW, r)
+		sub := quadrature.AdaptiveSimpson(f, a, b, p.Tol, p.MaxDepth)
+		res.I += sub.I
+		res.Err += sub.Err
+		res.Evals += sub.Evals
+		res.Partition = append(res.Partition, sub.Partition[1:]...)
+	}
+	res.Pattern = p.ObservedPattern(x, y, res.Partition)
+	return res
+}
+
+// SolveGrid evaluates the rp-integral at every point of target in parallel
+// on the host and stores the result in component comp. It returns the
+// per-point results in row-major order.
+func (p *Problem) SolveGrid(target *grid.Grid, comp int) []PointResult {
+	results := make([]PointResult, target.NX*target.NY)
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iy := range rows {
+				for ix := 0; ix < target.NX; ix++ {
+					x, y := target.Point(ix, iy)
+					res := p.SolvePoint(x, y)
+					results[iy*target.NX+ix] = res
+					target.Set(ix, iy, comp, res.I)
+				}
+			}
+		}()
+	}
+	for iy := 0; iy < target.NY; iy++ {
+		rows <- iy
+	}
+	close(rows)
+	wg.Wait()
+	return results
+}
+
+// String describes the problem briefly.
+func (p *Problem) String() string {
+	return fmt.Sprintf("rp-integral step=%d kappa=%d subW=%.3g tol=%.1g", p.Step, p.Kappa, p.subW, p.Tol)
+}

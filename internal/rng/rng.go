@@ -1,0 +1,134 @@
+// Package rng implements a small, deterministic pseudo-random number
+// generator suite used by the Monte-Carlo sampling and the machine-learning
+// components.
+//
+// The generator is xoshiro256** seeded through splitmix64, the combination
+// recommended by Blackman & Vigna. A dedicated implementation (rather than
+// math/rand) keeps every stochastic component of the reproduction seedable
+// and stable across Go releases, so experiment tables are bit-reproducible.
+package rng
+
+import "math"
+
+// Source is a deterministic xoshiro256** generator. The zero value is not
+// a valid generator; construct with New.
+type Source struct {
+	s [4]uint64
+	// spare Gaussian deviate from Box-Muller, valid when hasSpare is true.
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a Source seeded from the given seed using splitmix64, which
+// guarantees a well-mixed non-zero internal state for any seed value.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	return &src
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value of the xoshiro256** sequence.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform deviate in [0, 1) with 53 random bits.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling with rejection to keep
+	// the distribution exactly uniform.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return hi, lo
+}
+
+// Norm returns a standard Gaussian deviate (mean 0, standard deviation 1)
+// using the polar Box-Muller transform with deviate caching.
+func (r *Source) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.hasSpare = true
+		return u * f
+	}
+}
+
+// NormPair returns two independent standard Gaussian deviates.
+func (r *Source) NormPair() (float64, float64) {
+	return r.Norm(), r.Norm()
+}
+
+// Perm returns a uniformly random permutation of [0, n) using the
+// Fisher-Yates shuffle.
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Split returns a new Source whose stream is statistically independent of
+// the receiver's. It is used to hand independent streams to parallel
+// workers while keeping the whole run reproducible from one root seed.
+func (r *Source) Split() *Source {
+	return New(r.Uint64() ^ 0xd1342543de82ef95)
+}

@@ -1,0 +1,147 @@
+// Package roofline implements the roofline performance model used by the
+// paper's Figure 4: attainable double-precision performance as a function
+// of arithmetic intensity, bounded by the compute ceiling and one or more
+// memory-bandwidth ceilings, with measured kernels plotted against them.
+package roofline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"beamdyn/internal/gpusim"
+)
+
+// Ceiling is one bandwidth (diagonal) or compute (horizontal) bound.
+type Ceiling struct {
+	// Name labels the ceiling ("peak DP", "measured BW", ...).
+	Name string
+	// GBs is the bandwidth in GB/s for diagonal ceilings; 0 for compute
+	// ceilings.
+	GBs float64
+	// Gflops is the flat compute bound; 0 for bandwidth ceilings.
+	Gflops float64
+}
+
+// Model is a roofline chart: the ceilings of a device plus measured
+// kernel points.
+type Model struct {
+	Device   string
+	Ceilings []Ceiling
+	Points   []Point
+}
+
+// Point is one measured kernel.
+type Point struct {
+	Name string
+	// AI is the arithmetic intensity in flops per DRAM byte.
+	AI float64
+	// Gflops is the achieved performance.
+	Gflops float64
+}
+
+// New builds the roofline model of a simulated device with its compute
+// ceiling and both the theoretical and measured bandwidth ceilings, as the
+// paper's Figure 4 draws them.
+func New(cfg gpusim.Config) *Model {
+	return &Model{
+		Device: cfg.Name,
+		Ceilings: []Ceiling{
+			{Name: "peak double precision", Gflops: cfg.PeakGflops},
+			{Name: "theoretical peak bandwidth", GBs: cfg.DRAMBandwidthGBs},
+			{Name: "measured bandwidth", GBs: cfg.MeasuredBandwidthGBs},
+		},
+	}
+}
+
+// Attainable returns the attainable Gflop/s at arithmetic intensity ai
+// under the model's ceilings (the minimum of the compute bound and every
+// bandwidth bound).
+func (m *Model) Attainable(ai float64) float64 {
+	bound := math.Inf(1)
+	for _, c := range m.Ceilings {
+		var v float64
+		if c.Gflops > 0 {
+			v = c.Gflops
+		} else {
+			v = c.GBs * ai
+		}
+		if v < bound {
+			bound = v
+		}
+	}
+	return bound
+}
+
+// RidgeAI returns the arithmetic intensity at which a bandwidth ceiling
+// meets the compute ceiling — the ridge point separating memory-bound from
+// compute-bound kernels.
+func (m *Model) RidgeAI(bandwidth Ceiling) float64 {
+	var peak float64
+	for _, c := range m.Ceilings {
+		if c.Gflops > peak {
+			peak = c.Gflops
+		}
+	}
+	if bandwidth.GBs == 0 {
+		return 0
+	}
+	return peak / bandwidth.GBs
+}
+
+// AddKernel records a measured kernel point from simulator metrics.
+func (m *Model) AddKernel(name string, metrics gpusim.Metrics) {
+	m.Points = append(m.Points, Point{
+		Name:   name,
+		AI:     metrics.ArithmeticIntensity(),
+		Gflops: metrics.Gflops(),
+	})
+}
+
+// Utilisation returns a point's achieved fraction of its attainable bound.
+func (m *Model) Utilisation(p Point) float64 {
+	if a := m.Attainable(p.AI); a > 0 {
+		return p.Gflops / a
+	}
+	return 0
+}
+
+// Series samples the attainable curve at n log-spaced intensities in
+// [aiMin, aiMax], the series a plotting frontend draws.
+func (m *Model) Series(aiMin, aiMax float64, n int) (ai, gflops []float64) {
+	if n < 2 || aiMin <= 0 || aiMax <= aiMin {
+		panic("roofline: bad series range")
+	}
+	ai = make([]float64, n)
+	gflops = make([]float64, n)
+	logMin, logMax := math.Log(aiMin), math.Log(aiMax)
+	for i := 0; i < n; i++ {
+		a := math.Exp(logMin + (logMax-logMin)*float64(i)/float64(n-1))
+		ai[i] = a
+		gflops[i] = m.Attainable(a)
+	}
+	return ai, gflops
+}
+
+// String renders the model as a fixed-width text report (the textual
+// Figure 4).
+func (m *Model) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Roofline model: %s\n", m.Device)
+	for _, c := range m.Ceilings {
+		if c.Gflops > 0 {
+			fmt.Fprintf(&b, "  ceiling %-28s %8.1f Gflop/s\n", c.Name, c.Gflops)
+		} else {
+			fmt.Fprintf(&b, "  ceiling %-28s %8.1f GB/s (ridge at AI %.2f)\n",
+				c.Name, c.GBs, m.RidgeAI(c))
+		}
+	}
+	pts := append([]Point(nil), m.Points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].AI < pts[j].AI })
+	for _, p := range pts {
+		fmt.Fprintf(&b, "  kernel  %-28s AI %6.2f -> %7.1f Gflop/s (%.0f%% of attainable %.1f)\n",
+			p.Name, p.AI, p.Gflops, 100*m.Utilisation(p), m.Attainable(p.AI))
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package roofline
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"beamdyn/internal/gpusim"
+)
+
+func model() *Model {
+	return New(gpusim.Config{
+		Name:                 "test-gpu",
+		WarpSize:             32,
+		NumSMs:               4,
+		MaxThreadsPerBlock:   1024,
+		L1Bytes:              16 << 10,
+		L1LineBytes:          128,
+		L1Ways:               4,
+		L2Bytes:              512 << 10,
+		L2LineBytes:          128,
+		L2Ways:               8,
+		PeakGflops:           1000,
+		DRAMBandwidthGBs:     200,
+		MeasuredBandwidthGBs: 100,
+		L2BandwidthGBs:       400,
+	})
+}
+
+func TestAttainableRegimes(t *testing.T) {
+	m := model()
+	// Deep in the memory-bound regime the measured bandwidth governs.
+	if got := m.Attainable(0.5); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("attainable(0.5) = %g, want 50", got)
+	}
+	// Far in the compute-bound regime the peak governs.
+	if got := m.Attainable(100); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("attainable(100) = %g, want 1000", got)
+	}
+	// The ridge of the measured-bandwidth ceiling sits at peak/bw = 10.
+	if ridge := m.RidgeAI(Ceiling{GBs: 100}); math.Abs(ridge-10) > 1e-9 {
+		t.Fatalf("ridge = %g, want 10", ridge)
+	}
+}
+
+func TestAttainableMonotone(t *testing.T) {
+	m := model()
+	prev := 0.0
+	for ai := 0.1; ai < 1000; ai *= 1.7 {
+		v := m.Attainable(ai)
+		if v < prev {
+			t.Fatalf("attainable not monotone at AI %g", ai)
+		}
+		prev = v
+	}
+}
+
+func TestSeriesShapeAndBounds(t *testing.T) {
+	m := model()
+	ai, gf := m.Series(0.125, 32, 16)
+	if len(ai) != 16 || len(gf) != 16 {
+		t.Fatalf("series lengths %d/%d", len(ai), len(gf))
+	}
+	if math.Abs(ai[0]-0.125) > 1e-12 || math.Abs(ai[15]-32) > 1e-9 {
+		t.Fatalf("series endpoints %g..%g", ai[0], ai[15])
+	}
+	for i, a := range ai {
+		if math.Abs(gf[i]-m.Attainable(a)) > 1e-9 {
+			t.Fatalf("series value %d inconsistent", i)
+		}
+	}
+}
+
+func TestSeriesPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad series range did not panic")
+		}
+	}()
+	model().Series(1, 1, 8)
+}
+
+func TestAddKernelAndUtilisation(t *testing.T) {
+	m := model()
+	metrics := gpusim.Metrics{
+		Flops:         1e9,
+		DRAMReadBytes: 5e8, // AI = 2
+		Time:          0.01,
+	}
+	m.AddKernel("k", metrics)
+	if len(m.Points) != 1 {
+		t.Fatal("kernel point not added")
+	}
+	p := m.Points[0]
+	if math.Abs(p.AI-2) > 1e-12 {
+		t.Fatalf("AI = %g", p.AI)
+	}
+	// 1e9 flops in 0.01 s = 100 Gflops; attainable at AI 2 is 200.
+	if u := m.Utilisation(p); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("utilisation = %g", u)
+	}
+}
+
+func TestStringMentionsEverything(t *testing.T) {
+	m := model()
+	m.AddKernel("mykernel", gpusim.Metrics{Flops: 1e9, DRAMReadBytes: 1e9, Time: 0.01})
+	s := m.String()
+	for _, want := range []string{"test-gpu", "mykernel", "peak double precision", "measured bandwidth"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
