@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench-obs
+
+# The full local CI gate: what a PR must pass.
+ci: vet build race bench-obs
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Telemetry-overhead check: the disabled path must stay within 5% of the
+# uninstrumented kernel step (compare the two Benchmark lines by hand, or
+# with benchstat when available).
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchtime 5x ./internal/kernels

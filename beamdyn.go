@@ -33,6 +33,7 @@ import (
 	"beamdyn/internal/experiments"
 	"beamdyn/internal/gpusim"
 	"beamdyn/internal/kernels"
+	"beamdyn/internal/obs"
 	"beamdyn/internal/phys"
 	"beamdyn/internal/roofline"
 )
@@ -140,6 +141,17 @@ func NewMultiGPU(k Kernel, devices int) Algorithm {
 		return NewKernel(k)
 	})
 }
+
+// Observer is the unified telemetry layer: a span tracer over the
+// four-step loop and the kernels' predict/verify/fallback sub-phases, a
+// metrics registry, and a predictor-quality monitor. Assign one to
+// Simulation.Obs; a nil observer disables all instrumentation at
+// near-zero cost.
+type Observer = obs.Observer
+
+// NewObserver returns a telemetry layer with a live metrics registry and
+// predictor monitor; attach a trace sink via Observer.Trace.
+func NewObserver() *Observer { return obs.New() }
 
 // New builds a simulation and samples the initial bunch. The compute-
 // potentials stage runs on the sequential host reference until sim.Algo is

@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	beamsim -n 100000 -grid 64 -steps 12 -kernel predictive
+//	beamsim -n 100000 -grid 64 -steps 12 -kernel predictive \
+//	        -trace run.jsonl -metrics run.json -obs-interval 2
+//
+// The -trace/-metrics/-obs-interval flags enable the telemetry layer (see
+// the Observability section of README.md): a JSONL span trace of every
+// loop stage and kernel sub-phase, an end-of-run metrics snapshot with the
+// per-step predictor-quality series, and a periodic one-line summary.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"beamdyn"
 	"beamdyn/internal/diagnostics"
 	"beamdyn/internal/gpusim"
+	"beamdyn/internal/obs"
 )
 
 func main() {
@@ -35,6 +42,10 @@ func main() {
 		diag    = flag.Bool("diag", false, "print beam diagnostics (emittance, Twiss, profile sparkline) each step")
 		load    = flag.String("load", "", "resume from a checkpoint file")
 		save    = flag.String("save", "", "write a checkpoint file at the end")
+
+		traceOut    = flag.String("trace", "", "write a JSONL span/event trace to this file")
+		metricsOut  = flag.String("metrics", "", "write an end-of-run metrics snapshot (JSON) to this file")
+		obsInterval = flag.Int("obs-interval", 0, "print a predictor-quality summary every N steps (0 disables)")
 	)
 	flag.Parse()
 
@@ -65,6 +76,30 @@ func main() {
 	if *profile {
 		dev.AttachProfiler(prof)
 	}
+
+	// Telemetry: one observer feeds the trace sink, the metrics registry
+	// (including the simulated-GPU counters via the device recorder) and
+	// the predictor-quality series.
+	var (
+		observer  *obs.Observer
+		traceSink *obs.JSONLSink
+		traceFile *os.File
+	)
+	if *traceOut != "" || *metricsOut != "" || *obsInterval > 0 {
+		observer = beamdyn.NewObserver()
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			traceFile = f
+			traceSink = obs.NewJSONLSink(f)
+			observer.Trace = obs.NewTracer(traceSink)
+		}
+		dev.AttachRecorder(observer.GPURecorder())
+		sim.Obs = observer
+	}
+
 	switch *kernel {
 	case "twophase":
 		sim.Algo = beamdyn.NewKernelOn(beamdyn.TwoPhaseRP, dev)
@@ -106,9 +141,16 @@ func main() {
 		if *diag && sim.Ensemble.Len() > 0 {
 			sum := diagnostics.Analyze(sim.Ensemble)
 			fmt.Printf("          %s\n", sum)
-			prof := diagnostics.Project(sim.Ensemble, diagnostics.AxisY,
+			yprof := diagnostics.Project(sim.Ensemble, diagnostics.AxisY,
 				sum.MeanY-5*sum.SigmaY, sum.MeanY+5*sum.SigmaY, 48)
-			fmt.Printf("          |%s|\n", prof.Sparkline())
+			fmt.Printf("          |%s|\n", yprof.Sparkline())
+		}
+		if observer != nil && *obsInterval > 0 && (i+1)%*obsInterval == 0 {
+			if s, ok := observer.Pred.Last(); ok {
+				fmt.Printf("          obs: kernel=%s trained=%t fallback-rate=%.4f err(mean/p90/max)=%.3g/%.3g/%.3g train=%.3gs\n",
+					s.Kernel, s.Trained, s.FallbackRate, s.ErrMean, s.ErrP90, s.ErrMax, s.TrainSec)
+			}
+			observer.Event("obs/interval", step, obs.I("interval", *obsInterval))
 		}
 	}
 	if dropped := sim.Dropped(); dropped > 0 {
@@ -117,6 +159,39 @@ func main() {
 	if *profile {
 		fmt.Println("\nsimulated-GPU kernel summary:")
 		fmt.Print(prof)
+	}
+	if observer != nil {
+		fmt.Println("\ntelemetry snapshot:")
+		fmt.Print(observer.Reg.Snapshot().Table())
+		if s, ok := observer.Pred.Last(); ok {
+			fmt.Printf("predictor (last step %d): fallback-rate=%.4f err-mean=%.3g err-max=%.3g samples=%d\n",
+				s.Step, s.FallbackRate, s.ErrMean, s.ErrMax, len(observer.Pred.Samples()))
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := observer.WriteSnapshot(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+	}
+	if traceSink != nil {
+		if err := traceSink.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := observer.Trace.Err(); err != nil {
+			log.Fatalf("trace sink: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
 	}
 	if *save != "" {
 		f, err := os.Create(*save)

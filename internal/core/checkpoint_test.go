@@ -4,6 +4,10 @@ import (
 	"bytes"
 	"math"
 	"testing"
+
+	"beamdyn/internal/gpusim"
+	"beamdyn/internal/kernels"
+	"beamdyn/internal/obs"
 )
 
 func TestCheckpointRoundTrip(t *testing.T) {
@@ -78,5 +82,58 @@ func TestCheckpointContinuumRun(t *testing.T) {
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCheckpointPreservesStepAndHistoryDepth(t *testing.T) {
+	orig := New(testConfig())
+	orig.Warmup()
+	orig.Advance()
+	orig.Advance()
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Step != orig.Step {
+		t.Fatalf("step %d, want %d", restored.Step, orig.Step)
+	}
+	if restored.Hist.Len() != orig.Hist.Len() {
+		t.Fatalf("history depth %d, want %d", restored.Hist.Len(), orig.Hist.Len())
+	}
+	// Every retained history slot must round-trip, not just the head: the
+	// retarded-potential quadrature reads the full depth.
+	if restored.Hist.Oldest() != orig.Hist.Oldest() {
+		t.Fatalf("oldest step %d, want %d", restored.Hist.Oldest(), orig.Hist.Oldest())
+	}
+	for k := orig.Hist.Oldest(); k <= orig.Hist.Latest(); k++ {
+		og, rg := orig.Hist.At(k), restored.Hist.At(k)
+		if og == nil || rg == nil {
+			t.Fatalf("history step %d not resident after restore", k)
+		}
+		for i := range og.Data {
+			if og.Data[i] != rg.Data[i] {
+				t.Fatalf("history step %d diverges at %d", k, i)
+			}
+		}
+	}
+
+	// Telemetry attached after a restore continues the original step
+	// numbering (samples and spans are stamped with Simulation.Step).
+	o := obs.New()
+	restored.Obs = o
+	restored.Algo = kernels.NewPredictive(gpusim.New(gpusim.KeplerK40()))
+	before := restored.Step
+	restored.Advance()
+	s, ok := o.Pred.Last()
+	if !ok {
+		t.Fatal("no predictor sample after restored Advance")
+	}
+	if s.Step != before {
+		t.Fatalf("sample step %d, want %d", s.Step, before)
 	}
 }

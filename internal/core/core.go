@@ -20,6 +20,7 @@ import (
 	"beamdyn/internal/analytic"
 	"beamdyn/internal/grid"
 	"beamdyn/internal/kernels"
+	"beamdyn/internal/obs"
 	"beamdyn/internal/particles"
 	"beamdyn/internal/phys"
 	"beamdyn/internal/quadrature"
@@ -114,6 +115,12 @@ type Simulation struct {
 	// ForceGrid holds the latest force field (components 0: Fx, 1: Fy),
 	// nil until potentials have been computed.
 	ForceGrid *grid.Grid
+	// Obs is the telemetry layer: per-stage spans of the four-step loop,
+	// metric series, and predictor-quality samples. nil (the default)
+	// disables all instrumentation at near-zero cost; the observer is
+	// forwarded to the attached kernel each step, so setting it once here
+	// also instruments the kernel's predict/verify/fallback sub-phases.
+	Obs *obs.Observer
 
 	// cx, cy track the exact bunch centre in continuum mode.
 	cx, cy  float64
@@ -189,7 +196,9 @@ func (s *Simulation) Ready() bool { return s.Hist.Len() >= 3 }
 // and returns the step index it executed.
 func (s *Simulation) Advance() int {
 	step := s.Step
+	stepSpan := s.Obs.Span("advance", step)
 	// 1) Particle deposition (or its noiseless continuum limit).
+	sp := s.Obs.Span("advance/deposit", step)
 	g := s.currentGrid()
 	if s.Cfg.Continuum {
 		cx, cy := s.Center()
@@ -198,27 +207,42 @@ func (s *Simulation) Advance() int {
 		s.dropped += grid.Deposit(g, s.Ensemble, s.Cfg.Scheme)
 	}
 	s.Hist.Push(g)
+	sp.End(obs.I("dropped_total", s.dropped))
 
 	if s.Ready() {
 		// 2) Compute retarded potentials.
+		sp = s.Obs.Span("advance/potentials", step)
 		prob := retard.NewProblem(s.Hist, s.Params())
 		pot := grid.New(g.NX, g.NY, 1, g.X0, g.Y0, g.DX, g.DY)
 		pot.Step = step
 		if s.Algo != nil {
+			if ob, ok := s.Algo.(kernels.Observable); ok {
+				ob.SetObserver(s.Obs)
+			}
 			s.Last = s.Algo.Step(prob, pot, 0)
 		} else {
 			prob.SolveGrid(pot, 0)
 			s.Last = nil
 		}
 		s.Potential = pot
+		if s.Last != nil {
+			sp.End(obs.S("kernel", s.Algo.Name()),
+				obs.F("sim_sec", s.Last.Metrics.Time),
+				obs.I("fallback_entries", s.Last.FallbackEntries))
+		} else {
+			sp.End(obs.S("kernel", "host-reference"))
+		}
 
 		// 3) Compute self-forces by interpolating the potential gradient.
+		sp = s.Obs.Span("advance/forces", step)
 		s.Forces = s.computeForces(pot)
+		sp.End()
 	} else {
 		s.Forces = make([]particles.Force, s.Ensemble.Len())
 	}
 
 	// 4) Push particles.
+	sp = s.Obs.Span("advance/push", step)
 	if s.Cfg.Rigid {
 		// Rigid-bunch validation mode: the distribution translates at the
 		// design velocity without responding to the self-forces.
@@ -229,7 +253,13 @@ func (s *Simulation) Advance() int {
 	} else {
 		s.Ensemble.Push(s.Forces, s.Cfg.Dt)
 	}
+	sp.End(obs.I("particles", s.Ensemble.Len()))
 	s.Step++
+	if s.Obs != nil && s.Obs.Reg != nil {
+		s.Obs.Reg.Counter("sim_steps_total").Inc()
+		s.Obs.Reg.Gauge("sim_step").Set(float64(s.Step))
+	}
+	stepSpan.End()
 	return step
 }
 

@@ -1,0 +1,97 @@
+package diagnostics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"beamdyn/internal/particles"
+)
+
+func pointEnsemble(pts []particles.Particle) *particles.Ensemble {
+	return &particles.Ensemble{P: pts}
+}
+
+func TestProjectSingleBinCollectsAllCharge(t *testing.T) {
+	e := pointEnsemble([]particles.Particle{
+		{X: 0.1, Charge: 1}, {X: 0.9, Charge: 2}, {X: 0.5, Charge: 3},
+	})
+	p := Project(e, AxisX, 0, 1, 1)
+	if len(p.Density) != 1 {
+		t.Fatalf("bins = %d", len(p.Density))
+	}
+	if math.Abs(p.Density[0]-6) > 1e-12 { // width 1 => density == charge
+		t.Fatalf("density = %g, want 6", p.Density[0])
+	}
+	pos, peak := p.Peak()
+	if pos != 0.5 || peak != p.Density[0] {
+		t.Fatalf("peak (%g, %g)", pos, peak)
+	}
+}
+
+func TestProjectDropsOutOfRangeParticles(t *testing.T) {
+	e := pointEnsemble([]particles.Particle{
+		{X: -0.5, Charge: 1}, // below lo
+		{X: 1.5, Charge: 1},  // above hi
+		{X: 1.0, Charge: 1},  // == hi: the interval is half-open
+		{X: 0.0, Charge: 1},  // == lo: first bin
+		{X: 0.25, Charge: 1},
+	})
+	p := Project(e, AxisX, 0, 1, 4)
+	var total float64
+	for _, d := range p.Density {
+		total += d * p.Width
+	}
+	if math.Abs(total-2) > 1e-12 {
+		t.Fatalf("retained charge %g, want 2", total)
+	}
+	if p.Density[0]*p.Width != 1 || p.Density[1]*p.Width != 1 {
+		t.Fatalf("densities %v", p.Density)
+	}
+}
+
+func TestProjectZeroChargeSparkline(t *testing.T) {
+	e := pointEnsemble([]particles.Particle{{X: 0.5, Y: 0.5}})
+	p := Project(e, AxisY, 0, 1, 8)
+	if _, peak := p.Peak(); peak != 0 {
+		t.Fatalf("zero-charge peak = %g", peak)
+	}
+	if s := p.Sparkline(); s != strings.Repeat(" ", 8) {
+		t.Fatalf("zero-charge sparkline %q", s)
+	}
+}
+
+func TestSparklinePeakBinIsFullBlock(t *testing.T) {
+	e := pointEnsemble([]particles.Particle{
+		{X: 0.1, Charge: 1}, {X: 0.5, Charge: 4}, {X: 0.5, Charge: 4},
+	})
+	p := Project(e, AxisX, 0, 1, 4)
+	s := []rune(p.Sparkline())
+	if len(s) != 4 {
+		t.Fatalf("sparkline length %d", len(s))
+	}
+	if s[2] != '█' {
+		t.Fatalf("peak bin rune %q", string(s[2]))
+	}
+	if s[3] != ' ' {
+		t.Fatalf("empty bin rune %q", string(s[3]))
+	}
+}
+
+func TestProjectBadRangePanics(t *testing.T) {
+	e := pointEnsemble(nil)
+	for _, call := range []func(){
+		func() { Project(e, AxisX, 0, 1, 0) },
+		func() { Project(e, AxisX, 1, 1, 4) },
+		func() { Project(e, AxisX, 2, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad projection range did not panic")
+				}
+			}()
+			call()
+		}()
+	}
+}

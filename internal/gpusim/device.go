@@ -31,7 +31,21 @@ type Device struct {
 	cfg      Config
 	sms      []*smState
 	profiler *Profiler
+	recorder Recorder
 }
+
+// Recorder receives the aggregated metrics of every kernel launch as it
+// completes. Profiler implements it; external telemetry layers (the obs
+// package's registry bridge) implement it to see the same stream without
+// gpusim depending on them. Record is called from the goroutine driving
+// Run, after the launch's SM replays have joined.
+type Recorder interface {
+	Record(name string, m Metrics)
+}
+
+// AttachRecorder makes the device forward every launch's metrics to r, in
+// addition to any attached profiler. Passing nil detaches.
+func (d *Device) AttachRecorder(r Recorder) { d.recorder = r }
 
 // smState is the replay state owned by one simulated SM. L2 is partitioned
 // equally among SMs so SM replays are independent and deterministic.
@@ -153,6 +167,9 @@ func (d *Device) Run(l Launch) Metrics {
 	total.Time = worst
 	if d.profiler != nil {
 		d.profiler.Record(l.Name, total)
+	}
+	if d.recorder != nil {
+		d.recorder.Record(l.Name, total)
 	}
 	return total
 }

@@ -43,10 +43,18 @@ type Metrics struct {
 	MemTime     float64
 	Time        float64
 
-	warpSize int
+	warpSize  int
+	mixedWarp bool
 }
 
 // Add accumulates o into m (for multi-launch pipelines).
+//
+// Aggregation across devices with different warp sizes keeps the
+// receiver's warp size (or adopts o's when the receiver has none) and sets
+// the MixedWarpSizes flag: the raw counters still sum exactly, but
+// WarpExecutionEfficiency divides by a single warp size and is therefore
+// only an approximation for a mixed-device aggregate. Callers presenting
+// WEE for an aggregate should check MixedWarpSizes first.
 func (m *Metrics) Add(o Metrics) {
 	m.Kernels += o.Kernels
 	m.ThreadInsts += o.ThreadInsts
@@ -67,8 +75,20 @@ func (m *Metrics) Add(o Metrics) {
 	m.Time += o.Time
 	if m.warpSize == 0 {
 		m.warpSize = o.warpSize
+	} else if o.warpSize != 0 && o.warpSize != m.warpSize {
+		m.mixedWarp = true
 	}
+	m.mixedWarp = m.mixedWarp || o.mixedWarp
 }
+
+// WarpSize returns the warp size the derived efficiencies divide by (0
+// before any launch has been accumulated).
+func (m Metrics) WarpSize() int { return m.warpSize }
+
+// MixedWarpSizes reports whether launches with different warp sizes were
+// aggregated into m, which makes WarpExecutionEfficiency an approximation
+// (it uses the first device's warp size for all issued warp instructions).
+func (m Metrics) MixedWarpSizes() bool { return m.mixedWarp }
 
 // WarpExecutionEfficiency is the ratio of average active threads per warp
 // to the warp size, in [0, 1].
@@ -129,9 +149,13 @@ func (m Metrics) Gflops() float64 {
 
 // String renders a compact profiler-style report.
 func (m Metrics) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"kernels=%d time=%.4gs gflops=%.1f ai=%.3g wee=%.1f%% gle=%.1f%% l1=%.1f%% l2=%.1f%% dram=%.3gMB",
 		m.Kernels, m.Time, m.Gflops(), m.ArithmeticIntensity(),
 		100*m.WarpExecutionEfficiency(), 100*m.GlobalLoadEfficiency(),
 		100*m.L1HitRate(), 100*m.L2HitRate(), float64(m.DRAMBytes())/1e6)
+	if m.mixedWarp {
+		s += " (mixed warp sizes; wee approximate)"
+	}
+	return s
 }

@@ -1,0 +1,94 @@
+package gpusim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetricsAddSameWarpSize(t *testing.T) {
+	a := Metrics{Kernels: 1, ThreadInsts: 32, IssuedWarpInsts: 1, warpSize: 32}
+	b := Metrics{Kernels: 1, ThreadInsts: 16, IssuedWarpInsts: 1, warpSize: 32}
+	a.Add(b)
+	if a.Kernels != 2 || a.ThreadInsts != 48 || a.IssuedWarpInsts != 2 {
+		t.Fatalf("counters wrong: %+v", a)
+	}
+	if a.MixedWarpSizes() {
+		t.Fatal("same-warp aggregate flagged as mixed")
+	}
+	if want := 48.0 / (2 * 32); a.WarpExecutionEfficiency() != want {
+		t.Fatalf("wee = %g, want %g", a.WarpExecutionEfficiency(), want)
+	}
+}
+
+func TestMetricsAddMixedWarpSizes(t *testing.T) {
+	// An empty aggregate adopts the first warp size seen.
+	var agg Metrics
+	agg.Add(Metrics{Kernels: 1, warpSize: 32})
+	if agg.WarpSize() != 32 || agg.MixedWarpSizes() {
+		t.Fatalf("aggregate after first add: size=%d mixed=%v", agg.WarpSize(), agg.MixedWarpSizes())
+	}
+	// A different warp size keeps the receiver's size and flags the mix.
+	agg.Add(Metrics{Kernels: 1, warpSize: 64})
+	if agg.WarpSize() != 32 {
+		t.Fatalf("warp size changed to %d", agg.WarpSize())
+	}
+	if !agg.MixedWarpSizes() {
+		t.Fatal("mixed warp sizes not flagged")
+	}
+	// The flag is sticky through further aggregation, including into a
+	// fresh receiver (o.mixedWarp propagates).
+	var outer Metrics
+	outer.Add(agg)
+	if !outer.MixedWarpSizes() {
+		t.Fatal("mixed flag lost when aggregating the aggregate")
+	}
+	// Warp-size-free metrics (host-only phases) never flag.
+	agg2 := Metrics{warpSize: 32}
+	agg2.Add(Metrics{})
+	if agg2.MixedWarpSizes() {
+		t.Fatal("zero warp size treated as a mismatch")
+	}
+	if !strings.Contains(outer.String(), "mixed warp sizes") {
+		t.Fatalf("String() missing mixed-warp note: %s", outer.String())
+	}
+	if strings.Contains(agg2.String(), "mixed warp sizes") {
+		t.Fatal("String() notes mixed warps on a clean aggregate")
+	}
+}
+
+type captureRecorder struct {
+	names []string
+	total Metrics
+}
+
+func (r *captureRecorder) Record(name string, m Metrics) {
+	r.names = append(r.names, name)
+	r.total.Add(m)
+}
+
+func TestDeviceReportsLaunchesToRecorder(t *testing.T) {
+	d := New(testConfig())
+	var rec captureRecorder
+	d.AttachRecorder(&rec)
+	launch := Launch{
+		Name: "k", Blocks: 1, ThreadsPerBlock: 4,
+		Kernel: func(l *Lane, b, th int) {
+			l.Begin(0)
+			l.Flops(3)
+		},
+	}
+	m1 := d.Run(launch)
+	m2 := d.Run(launch)
+	if len(rec.names) != 2 || rec.names[0] != "k" {
+		t.Fatalf("recorder calls: %v", rec.names)
+	}
+	if rec.total.Flops != m1.Flops+m2.Flops || rec.total.Kernels != 2 {
+		t.Fatalf("recorder totals %+v vs runs %+v %+v", rec.total, m1, m2)
+	}
+	// Detaching stops the reports.
+	d.AttachRecorder(nil)
+	d.Run(launch)
+	if len(rec.names) != 2 {
+		t.Fatal("recorder called after detach")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"beamdyn/internal/access"
 	"beamdyn/internal/gpusim"
 	"beamdyn/internal/grid"
+	"beamdyn/internal/obs"
 	"beamdyn/internal/retard"
 )
 
@@ -34,7 +35,12 @@ type Heuristic struct {
 	prevNX    int
 	prevNY    int
 	partAddrs []uintptr
+	obs       *obs.Observer
+	errBuf    []float64
 }
+
+// SetObserver implements Observable.
+func (h *Heuristic) SetObserver(o *obs.Observer) { h.obs = o }
 
 // NewHeuristic returns the kernel with the configuration of [10]: 32x4
 // spatial tiles (fine enough for SM load balance, wide enough for warp
@@ -84,20 +90,43 @@ func (h *Heuristic) Step(p *retard.Problem, target *grid.Grid, comp int) *StepRe
 			return parts[i], h.partAddrs[i]
 		},
 	}
+	sp := h.obs.Span("heuristic/reuse", target.Step)
 	m, entries := fixedPhase(h.Dev, p, points, spec)
 	res.Metrics.Add(m)
 	res.Fixed = m
 	res.Launches++
 	res.FallbackEntries = len(entries)
 	res.FallbackBySubregion = tallySubregions(p, entries)
+	sp.End(obs.I("fallback_entries", len(entries)), obs.F("sim_sec", m.Time))
 
+	sp = h.obs.Span("heuristic/refine", target.Step)
 	rm, launches := adaptivePhase(h.Dev, p, points, entries, h.ThreadsPerBlock, true, "heuristic/refine")
 	res.Metrics.Add(rm)
 	res.Adaptive = rm
 	res.Launches += launches
+	sp.End(obs.I("entries", len(entries)), obs.F("sim_sec", rm.Time))
 
 	finishPatterns(p, points)
 	storeResults(points, target, comp)
+
+	// The persistence forecast (reuse of last step's pattern) is a model
+	// too: record its error against the observed patterns, so Heuristic-RP
+	// and Predictive-RP quality series are directly comparable.
+	if h.obs.PredictorEnabled() {
+		trained := h.prevPat != nil
+		var errs []float64
+		if trained {
+			h.errBuf = forecastErrors(h.prevPat, points, h.errBuf)
+			errs = h.errBuf
+		}
+		h.obs.RecordPredictor(obs.StepSample{
+			Step:            target.Step,
+			Kernel:          h.Name(),
+			Trained:         trained,
+			Points:          len(points),
+			FallbackEntries: res.FallbackEntries,
+		}, errs)
+	}
 
 	h.prevPat = make([]access.Pattern, len(points))
 	for i := range points {

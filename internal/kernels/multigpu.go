@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"beamdyn/internal/grid"
+	"beamdyn/internal/obs"
 	"beamdyn/internal/retard"
 )
 
@@ -45,6 +46,16 @@ func (m *MultiGPU) Name() string {
 func (m *MultiGPU) Reset() {
 	for _, a := range m.Algos {
 		a.Reset()
+	}
+}
+
+// SetObserver implements Observable, forwarding the telemetry layer to
+// every per-device kernel that supports it.
+func (m *MultiGPU) SetObserver(o *obs.Observer) {
+	for _, a := range m.Algos {
+		if ob, ok := a.(Observable); ok {
+			ob.SetObserver(o)
+		}
 	}
 }
 

@@ -1,0 +1,36 @@
+package kernels
+
+import (
+	"testing"
+
+	"beamdyn/internal/gpusim"
+	"beamdyn/internal/obs"
+)
+
+// benchStep runs the predictive kernel repeatedly with the given observer.
+// Comparing BenchmarkObsDisabled (nil observer, the instrumented-but-off
+// path every production run without -trace/-metrics takes) against
+// BenchmarkObsEnabled bounds the telemetry overhead; the acceptance budget
+// for the disabled path is < 5% over the kernel step.
+func benchStep(b *testing.B, o *obs.Observer) {
+	p, target := fixture(8, 24)
+	pr := NewPredictive(gpusim.New(gpusim.KeplerK40()))
+	pr.SetObserver(o)
+	pr.Step(p, target.Clone(), 0) // warm: train the model once
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr.Step(p, target.Clone(), 0)
+	}
+}
+
+func BenchmarkObsDisabled(b *testing.B) { benchStep(b, nil) }
+
+type discardSink struct{}
+
+func (discardSink) Emit(obs.Event) error { return nil }
+
+func BenchmarkObsEnabled(b *testing.B) {
+	o := obs.New()
+	o.Trace = obs.NewTracer(discardSink{})
+	benchStep(b, o)
+}

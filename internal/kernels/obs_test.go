@@ -1,0 +1,139 @@
+package kernels
+
+import (
+	"testing"
+
+	"beamdyn/internal/gpusim"
+	"beamdyn/internal/obs"
+)
+
+func observedNames(sink *obs.MemorySink) map[string]int {
+	names := map[string]int{}
+	for _, e := range sink.Events() {
+		names[e.Name]++
+	}
+	return names
+}
+
+func TestPredictiveEmitsSubPhaseSpansAndSample(t *testing.T) {
+	p, target := fixture(8, 24)
+	pr := NewPredictive(gpusim.New(gpusim.KeplerK40()))
+	o := obs.New()
+	var sink obs.MemorySink
+	o.Trace = obs.NewTracer(&sink)
+	pr.SetObserver(o)
+
+	pr.Step(p, target.Clone(), 0) // bootstrap
+	pr.Step(p, target.Clone(), 0) // trained
+
+	names := observedNames(&sink)
+	for _, want := range []string{
+		"predictive/predict", "predictive/cluster", "predictive/verify",
+		"predictive/fallback", "predictive/train", "predictor",
+	} {
+		if names[want] != 2 {
+			t.Fatalf("span %q seen %d times, want 2 (names: %v)", want, names[want], names)
+		}
+	}
+
+	samples := o.Pred.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(samples))
+	}
+	if samples[0].Trained {
+		t.Fatal("bootstrap step marked trained")
+	}
+	if !samples[1].Trained {
+		t.Fatal("second step not marked trained")
+	}
+	if samples[1].Points != 24*24 {
+		t.Fatalf("points = %d", samples[1].Points)
+	}
+	for i, s := range samples {
+		if s.ErrMax < s.ErrP90 || s.ErrP90 < s.ErrP50 {
+			t.Fatalf("sample %d quantiles out of order: %+v", i, s)
+		}
+		var n uint64
+		for _, b := range s.ErrBuckets {
+			n += b
+		}
+		if n != uint64(s.Points) {
+			t.Fatalf("sample %d buckets cover %d of %d points", i, n, s.Points)
+		}
+		if s.FallbackRate < 0 || s.FallbackRate > 1 {
+			t.Fatalf("sample %d fallback rate %g out of range", i, s.FallbackRate)
+		}
+	}
+	// Registry mirrors the series.
+	kl := obs.Label{Key: "kernel", Value: "Predictive-RP"}
+	if o.Reg.Counter("predictor_steps_total", kl).Value() != 2 {
+		t.Fatal("predictor_steps_total not recorded")
+	}
+	if o.Reg.Histogram("predictor_forecast_error", obs.DefaultErrBounds, kl).Count() != 2*24*24 {
+		t.Fatal("forecast error histogram incomplete")
+	}
+}
+
+func TestHeuristicAndTwoPhaseRecordSamples(t *testing.T) {
+	p, target := fixture(8, 24)
+	o := obs.New()
+
+	h := NewHeuristic(gpusim.New(gpusim.KeplerK40()))
+	h.SetObserver(o)
+	h.Step(p, target.Clone(), 0)
+	h.Step(p, target.Clone(), 0)
+	hs := o.Pred.Samples()
+	if len(hs) != 2 || hs[0].Trained || !hs[1].Trained {
+		t.Fatalf("heuristic samples wrong: %+v", hs)
+	}
+	if hs[1].ErrMean <= 0 && hs[1].ErrMax <= 0 {
+		t.Log("persistence forecast exact on static problem (acceptable)")
+	}
+
+	tp := NewTwoPhase(gpusim.New(gpusim.KeplerK40()))
+	tp.SetObserver(o)
+	tp.Step(p, target.Clone(), 0)
+	s, _ := o.Pred.Last()
+	if s.Kernel != "Two-Phase-RP" || s.Trained {
+		t.Fatalf("twophase sample wrong: %+v", s)
+	}
+	if s.FallbackRate <= 0 {
+		t.Fatal("twophase coarse phase should spill to refinement")
+	}
+}
+
+func TestMultiGPUForwardsObserver(t *testing.T) {
+	p, target := fixture(8, 24)
+	mg := NewMultiGPU(2, func(int) Algorithm {
+		return NewPredictive(gpusim.New(gpusim.KeplerK40()))
+	})
+	o := obs.New()
+	mg.SetObserver(o)
+	mg.Step(p, target.Clone(), 0)
+	if len(o.Pred.Samples()) != 2 {
+		t.Fatalf("per-device samples = %d, want 2", len(o.Pred.Samples()))
+	}
+}
+
+func TestKernelsMatchReferenceWithObserverAttached(t *testing.T) {
+	// Instrumentation must not perturb results: same potentials with and
+	// without the observer.
+	p, target := fixture(8, 24)
+	plain := NewPredictive(gpusim.New(gpusim.KeplerK40()))
+	traced := NewPredictive(gpusim.New(gpusim.KeplerK40()))
+	o := obs.New()
+	var sink obs.MemorySink
+	o.Trace = obs.NewTracer(&sink)
+	traced.SetObserver(o)
+	for step := 0; step < 2; step++ {
+		a := target.Clone()
+		b := target.Clone()
+		plain.Step(p, a, 0)
+		traced.Step(p, b, 0)
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("step %d: observer changed potentials at %d", step, i)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"beamdyn/internal/ml/kmeans"
 	"beamdyn/internal/ml/knn"
 	"beamdyn/internal/ml/linreg"
+	"beamdyn/internal/obs"
 	"beamdyn/internal/quadrature"
 	"beamdyn/internal/retard"
 	"beamdyn/internal/rng"
@@ -151,7 +152,12 @@ type Predictive struct {
 	prevParts [][]float64
 	prevNX    int
 	prevNY    int
+	obs       *obs.Observer
+	errBuf    []float64
 }
+
+// SetObserver implements Observable.
+func (pr *Predictive) SetObserver(o *obs.Observer) { pr.obs = o }
 
 // NewPredictive returns the kernel configured as in the paper: 4-NN
 // prediction, uniform partition transform, pattern clustering with
@@ -196,6 +202,7 @@ func (pr *Predictive) Step(p *retard.Problem, target *grid.Grid, comp int) *Step
 	// it to a partition. Before the first training step the pattern falls
 	// back to the coarse uniform seed (the bootstrap step that also
 	// produces the first training set).
+	sp := pr.obs.Span("predictive/predict", target.Step)
 	t0 := time.Now()
 	patterns := make([]access.Pattern, len(points))
 	parts := make([][]float64, len(points))
@@ -228,11 +235,14 @@ func (pr *Predictive) Step(p *retard.Problem, target *grid.Grid, comp int) *Step
 		}
 	}
 	res.Host.Predict = time.Since(t0).Seconds()
+	sp.End(obs.I("points", len(points)), obs.Attr{Key: "trained", Value: trained})
 
 	// Line 6: RP-CLUSTERING — group points by predicted access pattern.
+	sp = pr.obs.Span("predictive/cluster", target.Step)
 	t0 = time.Now()
 	blocks, merged, bases := pr.cluster(p, target, points, patterns, parts)
 	res.Host.Clustering = time.Since(t0).Seconds()
+	sp.End(obs.I("blocks", len(blocks)))
 
 	// Lines 8-17: evaluate every point over its cluster's merged partition
 	// with one-to-one thread mapping and uniform control flow.
@@ -250,23 +260,28 @@ func (pr *Predictive) Step(p *retard.Problem, target *grid.Grid, comp int) *Step
 			return merged[blk], bases[blk]
 		},
 	}
+	sp = pr.obs.Span("predictive/verify", target.Step)
 	m, entries := fixedPhase(pr.Dev, p, points, spec)
 	res.Metrics.Add(m)
 	res.Fixed = m
 	res.Launches++
 	res.FallbackEntries = len(entries)
 	res.FallbackBySubregion = tallySubregions(p, entries)
+	sp.End(obs.I("fallback_entries", len(entries)), obs.F("sim_sec", m.Time))
 
 	// Lines 18-24: adaptive safety net for panels above tolerance.
+	sp = pr.obs.Span("predictive/fallback", target.Step)
 	rm, launches := adaptivePhase(pr.Dev, p, points, entries, pr.threadsPerBlock(), false, "predictive/adaptive")
 	res.Metrics.Add(rm)
 	res.Adaptive = rm
 	res.Launches += launches
+	sp.End(obs.I("entries", len(entries)), obs.F("sim_sec", rm.Time))
 
 	finishPatterns(p, points)
 	storeResults(points, target, comp)
 
 	// Line 25: ONLINE-LEARNING — refit g on the observed patterns.
+	sp = pr.obs.Span("predictive/train", target.Step)
 	t0 = time.Now()
 	x := make([][]float64, len(points))
 	y := make([][]float64, len(points))
@@ -276,6 +291,23 @@ func (pr *Predictive) Step(p *retard.Problem, target *grid.Grid, comp int) *Step
 	}
 	pr.Pred.Fit(x, y)
 	res.Host.Train = time.Since(t0).Seconds()
+	sp.End()
+
+	// Predictor-quality sample: how far the forecast was from the patterns
+	// actually observed, and how much work leaked to the safety net.
+	if pr.obs.PredictorEnabled() {
+		pr.errBuf = forecastErrors(patterns, points, pr.errBuf)
+		pr.obs.RecordPredictor(obs.StepSample{
+			Step:            target.Step,
+			Kernel:          pr.Name(),
+			Trained:         trained,
+			Points:          len(points),
+			FallbackEntries: res.FallbackEntries,
+			PredictSec:      res.Host.Predict,
+			ClusterSec:      res.Host.Clustering,
+			TrainSec:        res.Host.Train,
+		}, pr.errBuf)
+	}
 
 	pr.prevParts = make([][]float64, len(points))
 	for i := range points {

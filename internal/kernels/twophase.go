@@ -5,6 +5,7 @@ import (
 
 	"beamdyn/internal/gpusim"
 	"beamdyn/internal/grid"
+	"beamdyn/internal/obs"
 	"beamdyn/internal/quadrature"
 	"beamdyn/internal/retard"
 )
@@ -25,7 +26,12 @@ type TwoPhase struct {
 	ThreadsPerBlock int
 	// PanelsPerSub is the phase-1 panels per radial subregion (default 1).
 	PanelsPerSub int
+
+	obs *obs.Observer
 }
+
+// SetObserver implements Observable.
+func (t *TwoPhase) SetObserver(o *obs.Observer) { t.obs = o }
 
 // NewTwoPhase returns the kernel with the launch configuration of [9].
 func NewTwoPhase(dev *gpusim.Device) *TwoPhase {
@@ -51,20 +57,34 @@ func (t *TwoPhase) Step(p *retard.Problem, target *grid.Grid, comp int) *StepRes
 			return uniformCoarsePartition(p, points[i].R, t.PanelsPerSub), 0
 		},
 	}
+	sp := t.obs.Span("twophase/uniform", target.Step)
 	m, entries := fixedPhase(t.Dev, p, points, spec)
 	res.Metrics.Add(m)
 	res.Fixed = m
 	res.Launches++
 	res.FallbackEntries = len(entries)
 	res.FallbackBySubregion = tallySubregions(p, entries)
+	sp.End(obs.I("fallback_entries", len(entries)), obs.F("sim_sec", m.Time))
 
+	sp = t.obs.Span("twophase/refine", target.Step)
 	rm, launches := t.refineRounds(p, points, entries)
 	res.Metrics.Add(rm)
 	res.Adaptive = rm
 	res.Launches += launches
+	sp.End(obs.I("rounds", launches), obs.F("sim_sec", rm.Time))
 
 	finishPatterns(p, points)
 	storeResults(points, target, comp)
+	// No forecast model: the sample still tracks the fallback series so
+	// kernels are comparable on the same dashboard.
+	if t.obs.PredictorEnabled() {
+		t.obs.RecordPredictor(obs.StepSample{
+			Step:            target.Step,
+			Kernel:          t.Name(),
+			Points:          len(points),
+			FallbackEntries: res.FallbackEntries,
+		}, nil)
+	}
 	res.Points = points
 	return res
 }

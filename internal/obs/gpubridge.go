@@ -1,0 +1,33 @@
+package obs
+
+import "beamdyn/internal/gpusim"
+
+// GPUBridge mirrors simulated-GPU launch metrics into a Registry, so the
+// profiler counters the paper's Tables I-II are built from (warp execution
+// efficiency, global load efficiency, cache hit rates, DRAM traffic)
+// appear as labeled series next to the simulation's own telemetry. It
+// implements gpusim.Recorder; attach it with Device.AttachRecorder. A
+// bridge with a nil Reg is a no-op.
+type GPUBridge struct{ Reg *Registry }
+
+// launchSecondsBuckets span simulated kernel times from microseconds to
+// the multi-second launches of the paper's largest grids.
+var launchSecondsBuckets = ExpBuckets(1e-6, 4, 12)
+
+// Record implements gpusim.Recorder.
+func (b GPUBridge) Record(name string, m gpusim.Metrics) {
+	if b.Reg == nil {
+		return
+	}
+	kl := Label{"kernel", name}
+	b.Reg.Counter("gpu_launches_total", kl).Inc()
+	b.Reg.Counter("gpu_flops_total", kl).Add(m.Flops)
+	b.Reg.Counter("gpu_thread_insts_total", kl).Add(m.ThreadInsts)
+	b.Reg.Counter("gpu_dram_bytes_total", kl).Add(m.DRAMBytes())
+	b.Reg.Gauge("gpu_time_seconds_total", kl).Add(m.Time)
+	b.Reg.Gauge("gpu_warp_exec_efficiency", kl).Set(m.WarpExecutionEfficiency())
+	b.Reg.Gauge("gpu_global_load_efficiency", kl).Set(m.GlobalLoadEfficiency())
+	b.Reg.Gauge("gpu_l1_hit_rate", kl).Set(m.L1HitRate())
+	b.Reg.Gauge("gpu_l2_hit_rate", kl).Set(m.L2HitRate())
+	b.Reg.Histogram("gpu_launch_seconds", launchSecondsBuckets, kl).Observe(m.Time)
+}

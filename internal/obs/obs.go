@@ -1,0 +1,134 @@
+// Package obs is the unified telemetry layer of the simulation: a
+// lightweight, allocation-conscious metrics registry (counters, gauges,
+// fixed-bucket histograms with labeled series), a span tracer emitting
+// JSONL events to a pluggable sink, and a predictor-quality monitor that
+// turns the Predictive-RP kernel's forecast accuracy, fallback rate and
+// re-train cost into per-step time series.
+//
+// The paper diagnoses its contribution entirely through profiler counters
+// (Tables I-II) and through the quality of the one-step-ahead access
+// pattern forecast; this package makes both observable continuously over a
+// run instead of as a single end-of-run printout, which is the
+// precondition for trusting a surrogate-assisted simulation at scale.
+//
+// Everything is nil-safe: a nil *Observer (and nil *Registry, *Tracer,
+// *PredictorMonitor, and every metric handle they return) turns all
+// recording calls into cheap no-ops, so instrumented hot paths cost a
+// pointer test when observability is disabled.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Observer bundles the three telemetry components. Any field may be nil to
+// disable that component; a nil *Observer disables everything.
+type Observer struct {
+	// Trace receives span and point events.
+	Trace *Tracer
+	// Reg accumulates metric series.
+	Reg *Registry
+	// Pred collects per-step predictor-quality samples.
+	Pred *PredictorMonitor
+}
+
+// New returns an observer with a live registry and predictor monitor and
+// no trace sink (attach one via Trace = NewTracer(sink)).
+func New() *Observer {
+	return &Observer{Reg: NewRegistry(), Pred: NewPredictorMonitor(0)}
+}
+
+// Enabled reports whether any component is live.
+func (o *Observer) Enabled() bool {
+	return o != nil && (o.Trace.Enabled() || o.Reg != nil || o.Pred != nil)
+}
+
+// TraceEnabled reports whether span events reach a sink.
+func (o *Observer) TraceEnabled() bool { return o != nil && o.Trace.Enabled() }
+
+// PredictorEnabled reports whether predictor-quality samples are collected.
+func (o *Observer) PredictorEnabled() bool {
+	return o != nil && (o.Pred != nil || o.Reg != nil || o.Trace.Enabled())
+}
+
+// Span starts a span named name for simulation step. The returned Span
+// must be Ended; on End the duration is emitted as a trace event and
+// observed into the registry's "stage_seconds" histogram series (label
+// stage=name). A disabled observer returns an inert span and does not
+// read the clock.
+func (o *Observer) Span(name string, step int) Span {
+	if o == nil || (o.Trace == nil && o.Reg == nil) {
+		return Span{}
+	}
+	return Span{o: o, name: name, step: step, t0: time.Now()}
+}
+
+// Event emits an instantaneous (zero-duration) trace event.
+func (o *Observer) Event(name string, step int, attrs ...Attr) {
+	if !o.TraceEnabled() {
+		return
+	}
+	o.Trace.emit(name, "event", step, 0, attrs)
+}
+
+// Span is an in-flight traced operation. The zero Span is inert.
+type Span struct {
+	o    *Observer
+	name string
+	step int
+	t0   time.Time
+}
+
+// End closes the span, recording its duration in the trace and the
+// registry. Extra attributes are attached to the trace event.
+func (s Span) End(attrs ...Attr) {
+	if s.o == nil {
+		return
+	}
+	dur := time.Since(s.t0).Seconds()
+	if s.o.Trace.Enabled() {
+		s.o.Trace.emit(s.name, "span", s.step, dur, attrs)
+	}
+	if s.o.Reg != nil {
+		s.o.Reg.Histogram("stage_seconds", StageSecondsBuckets, Label{"stage", s.name}).Observe(dur)
+	}
+}
+
+// StageSecondsBuckets are the default duration buckets for stage spans:
+// exponential from 10us to ~40s, the range simulation stages span from
+// toy grids to the paper's full 1024x1024 runs.
+var StageSecondsBuckets = ExpBuckets(1e-5, 4, 12)
+
+// GPURecorder returns a bridge that mirrors every simulated-GPU launch's
+// profiler counters into the registry (attach with Device.AttachRecorder).
+func (o *Observer) GPURecorder() GPUBridge {
+	if o == nil {
+		return GPUBridge{}
+	}
+	return GPUBridge{Reg: o.Reg}
+}
+
+// RunSnapshot is the end-of-run document written by WriteSnapshot: the
+// registry snapshot plus the full predictor-quality series.
+type RunSnapshot struct {
+	Metrics   Snapshot     `json:"metrics"`
+	Predictor []StepSample `json:"predictor,omitempty"`
+}
+
+// WriteSnapshot writes the observer's state as indented JSON.
+func (o *Observer) WriteSnapshot(w io.Writer) error {
+	var rs RunSnapshot
+	if o != nil {
+		if o.Reg != nil {
+			rs.Metrics = o.Reg.Snapshot()
+		}
+		if o.Pred != nil {
+			rs.Predictor = o.Pred.Samples()
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}

@@ -1,0 +1,393 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value pair identifying a metric series.
+type Label struct{ Key, Value string }
+
+// Registry holds named metric series. Series are created on first use and
+// updated with atomic operations, so registered handles are safe to use
+// from the kernel hot path (multiple goroutines) without further locking;
+// creation takes a registry-wide mutex and should be done once per series,
+// outside hot loops, by caching the returned handle. A nil *Registry (and
+// the nil handles it returns) makes every call a no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// seriesKey builds the canonical map key: name{k1=v1,k2=v2} with labels
+// sorted by key.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// Counter returns the monotonically increasing counter series name{labels},
+// creating it on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{name: name, labels: labelMap(labels)}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge series name{labels}, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{name: name, labels: labelMap(labels)}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns the fixed-bucket histogram series name{labels},
+// creating it with the given upper bounds on first use (later calls reuse
+// the existing buckets; bounds must be sorted ascending, and an implicit
+// +Inf bucket is always appended).
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[key]
+	if !ok {
+		h = newHistogram(name, bounds, labels)
+		r.hists[key] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing uint64 series.
+type Counter struct {
+	v      atomic.Uint64
+	name   string
+	labels map[string]string
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 series holding the latest value (Set) or a running
+// sum (Add); updates are atomic.
+type Gauge struct {
+	bits   atomic.Uint64
+	name   string
+	labels map[string]string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds v to the gauge.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram with atomic bucket counts; bucket
+// i counts observations <= bounds[i], with one extra overflow bucket.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+	name    string
+	labels  map[string]string
+}
+
+func newHistogram(name string, bounds []float64, labels []Label) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	return &Histogram{
+		bounds:  bs,
+		buckets: make([]atomic.Uint64, len(bs)+1),
+		name:    name,
+		labels:  labelMap(labels),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// LinearBuckets returns n bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExpBuckets returns n bounds start, start*factor, start*factor^2, ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// CounterSnapshot is one counter series' state.
+type CounterSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  uint64            `json:"value"`
+}
+
+// GaugeSnapshot is one gauge series' state.
+type GaugeSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// BucketSnapshot is one histogram bucket: the count of observations at or
+// below UpperBound (not cumulative across buckets). The overflow bucket
+// has UpperBound +Inf, encoded as JSON null.
+type BucketSnapshot struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// MarshalJSON encodes +Inf upper bounds as null (JSON has no Inf).
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	if math.IsInf(b.UpperBound, 1) {
+		return []byte(fmt.Sprintf(`{"le":null,"count":%d}`, b.Count)), nil
+	}
+	return []byte(fmt.Sprintf(`{"le":%g,"count":%d}`, b.UpperBound, b.Count)), nil
+}
+
+// HistogramSnapshot is one histogram series' state.
+type HistogramSnapshot struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets []BucketSnapshot  `json:"buckets"`
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of every series, sorted by series key
+// for stable output.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters,omitempty"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, key := range sortedKeys(r.counters) {
+		c := r.counters[key]
+		s.Counters = append(s.Counters, CounterSnapshot{Name: c.name, Labels: c.labels, Value: c.Value()})
+	}
+	for _, key := range sortedKeys(r.gauges) {
+		g := r.gauges[key]
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: g.name, Labels: g.labels, Value: g.Value()})
+	}
+	for _, key := range sortedKeys(r.hists) {
+		h := r.hists[key]
+		hs := HistogramSnapshot{Name: h.name, Labels: h.labels, Count: h.Count(), Sum: h.Sum()}
+		for i := range h.buckets {
+			ub := math.Inf(1)
+			if i < len(h.bounds) {
+				ub = h.bounds[i]
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnapshot{UpperBound: ub, Count: h.buckets[i].Load()})
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	return s
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Table renders the snapshot as an aligned end-of-run summary table.
+func (s Snapshot) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-52s %14s\n", "series", "value")
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "%-52s %14d\n", seriesLabel(c.Name, c.Labels), c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "%-52s %14.6g\n", seriesLabel(g.Name, g.Labels), g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "%-52s %7d obs, mean %.4g\n",
+			seriesLabel(h.Name, h.Labels), h.Count, h.Mean())
+	}
+	return b.String()
+}
+
+func seriesLabel(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := sortedKeys(labels)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

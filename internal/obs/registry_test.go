@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", Label{"kernel", "predictive"})
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Same name+labels returns the same series regardless of label order.
+	c2 := r.Counter("requests_total", Label{"kernel", "predictive"})
+	if c2 != c {
+		t.Fatal("counter handle not shared")
+	}
+
+	g := r.Gauge("temp")
+	g.Set(2.5)
+	g.Add(0.5)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %g, want 3", g.Value())
+	}
+}
+
+func TestSeriesKeyLabelOrderIndependent(t *testing.T) {
+	a := seriesKey("m", []Label{{"b", "2"}, {"a", "1"}})
+	b := seriesKey("m", []Label{{"a", "1"}, {"b", "2"}})
+	if a != b || a != "m{a=1,b=2}" {
+		t.Fatalf("series keys %q vs %q", a, b)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %d", len(s.Histograms))
+	}
+	got := s.Histograms[0]
+	want := []uint64{2, 1, 1, 1} // <=1: {0.5, 1}; <=2: {1.5}; <=4: {3}; +Inf: {100}
+	for i, b := range got.Buckets {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, b.Count, want[i])
+		}
+	}
+	if !math.IsInf(got.Buckets[3].UpperBound, 1) {
+		t.Fatal("overflow bucket bound not +Inf")
+	}
+	if got.Mean() != 106.0/5 {
+		t.Fatalf("mean = %g", got.Mean())
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(1, 2, 3)
+	if lin[0] != 1 || lin[1] != 3 || lin[2] != 5 {
+		t.Fatalf("linear buckets %v", lin)
+	}
+	exp := ExpBuckets(1, 10, 3)
+	if exp[0] != 1 || exp[1] != 10 || exp[2] != 100 {
+		t.Fatalf("exp buckets %v", exp)
+	}
+}
+
+func TestSnapshotJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", Label{"k", "v"}).Inc()
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h", []float64{1}).Observe(2)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	// The +Inf bucket must encode as valid JSON (null upper bound).
+	var back map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v\n%s", err, buf.String())
+	}
+	hists := back["histograms"].([]any)
+	buckets := hists[0].(map[string]any)["buckets"].([]any)
+	last := buckets[len(buckets)-1].(map[string]any)
+	if last["le"] != nil {
+		t.Fatalf("overflow bound = %v, want null", last["le"])
+	}
+}
+
+func TestRegistryConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	g := r.Gauge("sum")
+	h := r.Histogram("obs", []float64{10, 20})
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 30))
+				// Series creation must also be concurrency-safe.
+				r.Counter("n").Value()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Fatalf("gauge = %g, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h", []float64{1}).Observe(1)
+	if r.Counter("c").Value() != 0 || r.Gauge("g").Value() != 0 || r.Histogram("h", nil).Count() != 0 {
+		t.Fatal("nil registry leaked state")
+	}
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestSnapshotTable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("launches", Label{"kernel", "x"}).Add(3)
+	r.Gauge("wee").Set(0.9)
+	tbl := r.Snapshot().Table()
+	for _, want := range []string{"launches{kernel=x}", "wee", "3", "0.9"} {
+		if !bytes.Contains([]byte(tbl), []byte(want)) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one trace record. Timestamps are seconds since the tracer was
+// created; Dur is the span duration in seconds (0 for point events).
+type Event struct {
+	TS    float64        `json:"ts"`
+	Name  string         `json:"name"`
+	Kind  string         `json:"kind"` // "span" | "event"
+	Step  int            `json:"step"`
+	Dur   float64        `json:"dur,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Attr is one event attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// F makes a float attribute.
+func F(k string, v float64) Attr { return Attr{k, v} }
+
+// I makes an integer attribute.
+func I(k string, v int) Attr { return Attr{k, v} }
+
+// S makes a string attribute.
+func S(k, v string) Attr { return Attr{k, v} }
+
+// Sink receives trace events. Implementations must be safe for concurrent
+// Emit calls.
+type Sink interface {
+	Emit(e Event) error
+}
+
+// Tracer timestamps events and forwards them to a sink. A nil *Tracer, or
+// one with a nil sink, drops everything at the cost of a nil check.
+type Tracer struct {
+	sink  Sink
+	start time.Time
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewTracer returns a tracer writing to sink (nil sink disables it).
+func NewTracer(sink Sink) *Tracer {
+	return &Tracer{sink: sink, start: time.Now()}
+}
+
+// Enabled reports whether events reach a sink.
+func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+// Err returns the first sink error encountered, if any; the tracer keeps
+// accepting events after an error (telemetry must not kill a run) but
+// remembers it so the caller can report a broken trace file at the end.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+func (t *Tracer) emit(name, kind string, step int, dur float64, attrs []Attr) {
+	if !t.Enabled() {
+		return
+	}
+	e := Event{
+		TS:   time.Since(t.start).Seconds(),
+		Name: name,
+		Kind: kind,
+		Step: step,
+		Dur:  dur,
+	}
+	if len(attrs) > 0 {
+		e.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			e.Attrs[a.Key] = a.Value
+		}
+	}
+	if err := t.sink.Emit(e); err != nil {
+		t.mu.Lock()
+		if t.err == nil {
+			t.err = err
+		}
+		t.mu.Unlock()
+	}
+}
+
+// JSONLSink writes events as JSON Lines (one object per line) through a
+// buffered writer. Call Flush before closing the underlying writer.
+type JSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a sink writing JSONL to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(e Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(e)
+}
+
+// Flush drains the internal buffer to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bw.Flush()
+}
+
+// MemorySink collects events in memory, mainly for tests and the
+// -obs-interval live view.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (s *MemorySink) Emit(e Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, e)
+	return nil
+}
+
+// Events returns a copy of the collected events.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}

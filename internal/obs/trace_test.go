@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestJSONLSinkEmitsValidLines(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	o := &Observer{Trace: NewTracer(sink)}
+
+	sp := o.Span("advance/deposit", 3)
+	time.Sleep(time.Millisecond)
+	sp.End(F("dropped", 0), S("mode", "cic"))
+	o.Event("predictor", 3, I("fallback_entries", 7))
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	span := events[0]
+	if span.Name != "advance/deposit" || span.Kind != "span" || span.Step != 3 {
+		t.Fatalf("span event wrong: %+v", span)
+	}
+	if span.Dur <= 0 {
+		t.Fatal("span duration not recorded")
+	}
+	if span.Attrs["mode"] != "cic" {
+		t.Fatalf("span attrs wrong: %v", span.Attrs)
+	}
+	ev := events[1]
+	if ev.Kind != "event" || ev.Dur != 0 {
+		t.Fatalf("point event wrong: %+v", ev)
+	}
+	if ev.Attrs["fallback_entries"].(float64) != 7 {
+		t.Fatalf("event attrs wrong: %v", ev.Attrs)
+	}
+}
+
+func TestNilTracerAndObserverAreInert(t *testing.T) {
+	var o *Observer
+	sp := o.Span("x", 0) // must not panic or read the clock
+	sp.End()
+	o.Event("y", 0)
+	o.RecordPredictor(StepSample{}, nil)
+	if o.Enabled() || o.TraceEnabled() || o.PredictorEnabled() {
+		t.Fatal("nil observer claims to be enabled")
+	}
+	var tr *Tracer
+	if tr.Enabled() || tr.Err() != nil {
+		t.Fatal("nil tracer misbehaves")
+	}
+	// Observer with no sink: spans still feed the registry.
+	o2 := New()
+	o2.Span("stage", 1).End()
+	if o2.Reg.Histogram("stage_seconds", StageSecondsBuckets, Label{"stage", "stage"}).Count() != 1 {
+		t.Fatal("span did not feed registry without a trace sink")
+	}
+}
+
+type failingSink struct{ err error }
+
+func (s failingSink) Emit(Event) error { return s.err }
+
+func TestTracerSurfacesSinkError(t *testing.T) {
+	want := errors.New("disk full")
+	tr := NewTracer(failingSink{want})
+	o := &Observer{Trace: tr}
+	o.Span("s", 0).End()
+	if !errors.Is(tr.Err(), want) {
+		t.Fatalf("Err() = %v, want %v", tr.Err(), want)
+	}
+	// Later events must not panic and the first error is retained.
+	o.Event("e", 1)
+	if !errors.Is(tr.Err(), want) {
+		t.Fatal("first error not retained")
+	}
+}
+
+func TestMemorySink(t *testing.T) {
+	var sink MemorySink
+	o := &Observer{Trace: NewTracer(&sink)}
+	o.Event("a", 1)
+	o.Event("b", 2)
+	evs := sink.Events()
+	if len(evs) != 2 || evs[0].Name != "a" || evs[1].Step != 2 {
+		t.Fatalf("memory sink events wrong: %+v", evs)
+	}
+}
