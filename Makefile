@@ -1,9 +1,15 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: ci vet build test race bench-obs
+.PHONY: ci fmt vet build test race test-fleet-race bench-obs
 
 # The full local CI gate: what a PR must pass.
-ci: vet build race bench-obs
+ci: fmt vet build race test-fleet-race bench-obs
+
+# Formatting gate: fail (and list the offenders) if any file needs gofmt.
+fmt:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +22,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection paths are concurrency-heavy: race-check the fleet
+# package and run a short scripted-failure chaos pass on every PR.
+test-fleet-race:
+	$(GO) test -race -count=1 ./internal/fleet/...
+	$(GO) run ./cmd/beamsim -n 5000 -grid 32 -steps 2 -kernel twophase \
+		-devices 4 -inject "fail:dev=1,step=10,after=1"
 
 # Telemetry-overhead check: the disabled path must stay within 5% of the
 # uninstrumented kernel step (compare the two Benchmark lines by hand, or

@@ -31,6 +31,7 @@ import (
 
 	"beamdyn/internal/core"
 	"beamdyn/internal/experiments"
+	"beamdyn/internal/fleet"
 	"beamdyn/internal/gpusim"
 	"beamdyn/internal/kernels"
 	"beamdyn/internal/obs"
@@ -139,6 +140,36 @@ func PascalP100() DeviceConfig { return gpusim.PascalP100() }
 func NewMultiGPU(k Kernel, devices int) Algorithm {
 	return kernels.NewMultiGPU(devices, func(int) kernels.Algorithm {
 		return NewKernel(k)
+	})
+}
+
+// NewMultiGPUOn is NewMultiGPU with caller-supplied devices: mkDev is
+// invoked once per device index, so profilers and telemetry recorders can
+// be attached to each device before its kernel is built.
+func NewMultiGPUOn(k Kernel, devices int, mkDev func(d int) *Device) Algorithm {
+	return kernels.NewMultiGPU(devices, func(d int) kernels.Algorithm {
+		return NewKernelOn(k, mkDev(d))
+	})
+}
+
+// NewFleet runs the selected kernel across a managed device fleet with
+// dynamic, cost-predicted band scheduling (see internal/fleet): the grid
+// is over-decomposed into more row-bands than devices, bands are placed
+// by predicted cost, idle devices steal work, and bands lost to mid-step
+// device failures are retried on survivors. The seed drives every
+// stochastic scheduler choice, keeping runs reproducible.
+func NewFleet(k Kernel, devices int, seed uint64) Algorithm {
+	devs := make([]*Device, devices)
+	for d := range devs {
+		devs[d] = NewDevice(KeplerK40())
+		devs[d].SetLabel(fmt.Sprintf("dev%d", d))
+	}
+	return fleet.New(fleet.Config{
+		Manager: fleet.NewFixed(devs),
+		MakeKernel: func(id int, dev *Device) kernels.Algorithm {
+			return NewKernelOn(k, dev)
+		},
+		Seed: seed,
 	})
 }
 

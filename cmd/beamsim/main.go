@@ -11,6 +11,13 @@
 // the Observability section of README.md): a JSONL span trace of every
 // loop stage and kernel sub-phase, an end-of-run metrics snapshot with the
 // per-step predictor-quality series, and a periodic one-line summary.
+//
+// Multi-device runs: -devices N splits the grid statically (one band per
+// device); adding -fleet schedules bands dynamically through the fleet
+// manager (over-decomposition, cost-predicted placement, work stealing,
+// failure retry), and -inject scripts health events against it:
+//
+//	beamsim -devices 4 -fleet -inject "fail:dev=1,step=9,after=2" -steps 6
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 
 	"beamdyn"
 	"beamdyn/internal/diagnostics"
+	"beamdyn/internal/fleet"
 	"beamdyn/internal/gpusim"
 	"beamdyn/internal/obs"
 )
@@ -42,6 +50,10 @@ func main() {
 		diag    = flag.Bool("diag", false, "print beam diagnostics (emittance, Twiss, profile sparkline) each step")
 		load    = flag.String("load", "", "resume from a checkpoint file")
 		save    = flag.String("save", "", "write a checkpoint file at the end")
+
+		devices   = flag.Int("devices", 1, "number of simulated devices")
+		fleetMode = flag.Bool("fleet", false, "schedule row-bands dynamically across the devices via the fleet manager")
+		inject    = flag.String("inject", "", "scripted fleet health events, e.g. \"fail:dev=1,step=9,after=2;slow:dev=2,step=8,factor=3,until=12\" (implies -fleet)")
 
 		traceOut    = flag.String("trace", "", "write a JSONL span/event trace to this file")
 		metricsOut  = flag.String("metrics", "", "write an end-of-run metrics snapshot (JSON) to this file")
@@ -71,21 +83,25 @@ func main() {
 		cfg.Rigid = !*dynamic
 		sim = beamdyn.New(cfg)
 	}
-	dev := beamdyn.NewDevice(beamdyn.KeplerK40())
-	prof := gpusim.NewProfiler()
-	if *profile {
-		dev.AttachProfiler(prof)
+	if *inject != "" {
+		*fleetMode = true
 	}
+	if *devices < 1 {
+		log.Fatalf("-devices %d: need at least one device", *devices)
+	}
+	prof := gpusim.NewProfiler()
 
 	// Telemetry: one observer feeds the trace sink, the metrics registry
 	// (including the simulated-GPU counters via the device recorder) and
-	// the predictor-quality series.
+	// the predictor-quality series. Fleet runs always get an observer so
+	// the end-of-run snapshot table carries the fleet counters (bands
+	// dispatched/stolen/retried, device state transitions).
 	var (
 		observer  *obs.Observer
 		traceSink *obs.JSONLSink
 		traceFile *os.File
 	)
-	if *traceOut != "" || *metricsOut != "" || *obsInterval > 0 {
+	if *traceOut != "" || *metricsOut != "" || *obsInterval > 0 || *fleetMode {
 		observer = beamdyn.NewObserver()
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
@@ -96,27 +112,80 @@ func main() {
 			traceSink = obs.NewJSONLSink(f)
 			observer.Trace = obs.NewTracer(traceSink)
 		}
-		dev.AttachRecorder(observer.GPURecorder())
 		sim.Obs = observer
 	}
 
+	var ksel beamdyn.Kernel
 	switch *kernel {
 	case "twophase":
-		sim.Algo = beamdyn.NewKernelOn(beamdyn.TwoPhaseRP, dev)
+		ksel = beamdyn.TwoPhaseRP
 	case "heuristic":
-		sim.Algo = beamdyn.NewKernelOn(beamdyn.HeuristicRP, dev)
+		ksel = beamdyn.HeuristicRP
 	case "predictive":
-		sim.Algo = beamdyn.NewKernelOn(beamdyn.PredictiveRP, dev)
+		ksel = beamdyn.PredictiveRP
 	case "reference":
-		// Host reference solver: sim.Algo stays nil.
+		if *fleetMode || *devices > 1 {
+			log.Fatal("-kernel reference runs on the host; it cannot drive -devices or -fleet")
+		}
 	default:
 		log.Printf("unknown kernel %q", *kernel)
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	fmt.Printf("beamdyn simulation: N=%d grid=%dx%d kappa=%d tol=%g kernel=%s\n",
-		sim.Cfg.Beam.NumParticles, sim.Cfg.NX, sim.Cfg.NY, sim.Cfg.Kappa, sim.Cfg.Tol, *kernel)
+	newDevice := func(d int) *gpusim.Device {
+		dev := beamdyn.NewDevice(beamdyn.KeplerK40())
+		dev.SetLabel(fmt.Sprintf("dev%d", d))
+		if *profile {
+			dev.AttachProfiler(prof)
+		}
+		if observer != nil {
+			dev.AttachRecorder(observer.GPURecorder())
+		}
+		return dev
+	}
+
+	var fl *fleet.Fleet
+	var mgr fleet.Manager
+	switch {
+	case *kernel == "reference":
+		// Host reference solver: sim.Algo stays nil.
+	case *fleetMode:
+		devs := make([]*gpusim.Device, *devices)
+		for d := range devs {
+			devs[d] = newDevice(d)
+		}
+		if *inject != "" {
+			events, err := fleet.ParseEvents(*inject)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mgr = fleet.NewInjectable(devs, events)
+		} else {
+			mgr = fleet.NewFixed(devs)
+		}
+		fl = fleet.New(fleet.Config{
+			Manager: mgr,
+			MakeKernel: func(id int, dev *gpusim.Device) beamdyn.Algorithm {
+				return beamdyn.NewKernelOn(ksel, dev)
+			},
+			Seed: *seed,
+		})
+		sim.Algo = fl
+	case *devices > 1:
+		sim.Algo = beamdyn.NewMultiGPUOn(ksel, *devices, newDevice)
+	default:
+		sim.Algo = beamdyn.NewKernelOn(ksel, newDevice(0))
+	}
+
+	mode := ""
+	if *fleetMode {
+		mode = fmt.Sprintf(" devices=%d (fleet)", *devices)
+	} else if *devices > 1 {
+		mode = fmt.Sprintf(" devices=%d (static bands)", *devices)
+	}
+	fmt.Printf("beamdyn simulation: N=%d grid=%dx%d kappa=%d tol=%g kernel=%s%s\n",
+		sim.Cfg.Beam.NumParticles, sim.Cfg.NX, sim.Cfg.NY, sim.Cfg.Kappa, sim.Cfg.Tol, *kernel, mode)
 	t0 := time.Now()
 	sim.Warmup()
 	fmt.Printf("warm-up (history filled through step %d): %.2fs\n",
@@ -159,6 +228,23 @@ func main() {
 	if *profile {
 		fmt.Println("\nsimulated-GPU kernel summary:")
 		fmt.Print(prof)
+	}
+	if fl != nil {
+		st := fl.LastStats()
+		fmt.Printf("\nfleet summary (last step): bands=%d stolen=%d retried=%d\n",
+			st.Bands, st.Stolen, st.Retried)
+		for d := 0; d < mgr.NumDevices(); d++ {
+			fmt.Printf("  %-6s state=%-8s slowdown=%.3g busy=%.4gs util=%.0f%%\n",
+				mgr.Device(d).Label(), mgr.State(d), mgr.Slowdown(d),
+				st.Busy[d], 100*st.Utilization(d))
+		}
+		if trans := mgr.Transitions(); len(trans) > 0 {
+			fmt.Println("  state transitions:")
+			for _, tr := range trans {
+				fmt.Printf("    step %3d: dev%d %s -> %s (%s)\n",
+					tr.Step, tr.Device, tr.From, tr.To, tr.Reason)
+			}
+		}
 	}
 	if observer != nil {
 		fmt.Println("\ntelemetry snapshot:")

@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseEvents(t *testing.T) {
+	evs, err := ParseEvents("fail:dev=1,step=9,after=2;slow:dev=2,step=8,factor=3,until=12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("parsed %d events, want 2", len(evs))
+	}
+	want0 := Event{Kind: EventFail, Device: 1, Step: 9, After: 2}
+	if evs[0] != want0 {
+		t.Fatalf("event 0 = %+v, want %+v", evs[0], want0)
+	}
+	want1 := Event{Kind: EventSlow, Device: 2, Step: 8, Factor: 3, Until: 12}
+	if evs[1] != want1 {
+		t.Fatalf("event 1 = %+v, want %+v", evs[1], want1)
+	}
+}
+
+func TestParseEventsAllKinds(t *testing.T) {
+	evs, err := ParseEvents("fail:dev=0,step=1; slow:dev=1,step=2,factor=1.5; drain:dev=2,step=3; recover:dev=2,step=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []EventKind{EventFail, EventSlow, EventDrain, EventRecover}
+	for i, k := range kinds {
+		if evs[i].Kind != k {
+			t.Fatalf("event %d kind = %v, want %v", i, evs[i].Kind, k)
+		}
+	}
+}
+
+func TestEventStringRoundTrip(t *testing.T) {
+	in := []Event{
+		{Kind: EventFail, Device: 1, Step: 9, After: 2},
+		{Kind: EventSlow, Device: 2, Step: 8, Factor: 2.5, Until: 12},
+		{Kind: EventDrain, Device: 0, Step: 4},
+		{Kind: EventRecover, Device: 0, Step: 6},
+	}
+	var parts []string
+	for _, e := range in {
+		parts = append(parts, e.String())
+	}
+	out, err := ParseEvents(strings.Join(parts, ";"))
+	if err != nil {
+		t.Fatalf("round trip of %q: %v", strings.Join(parts, ";"), err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost events: %d -> %d", len(in), len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("event %d round-tripped to %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestParseEventsRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",                                   // empty script
+		"fail",                               // no fields
+		"explode:dev=0,step=1",               // unknown kind
+		"fail:step=1",                        // missing dev
+		"fail:dev=0",                         // missing step
+		"fail:dev=0,step=1,factor=2",         // factor on fail
+		"slow:dev=0,step=1",                  // slow without factor
+		"slow:dev=0,step=1,factor=0",         // non-positive factor
+		"slow:dev=0,step=5,factor=2,until=5", // until not after step
+		"drain:dev=0,step=1,after=2",         // after on drain
+		"fail:dev=0,step=1,after=-1",         // negative after
+		"fail:dev=x,step=1",                  // bad int
+		"fail:dev=0,step=1,bogus=7",          // unknown field
+		"fail:dev=0,step=1,after",            // not key=value
+	}
+	for _, s := range bad {
+		if _, err := ParseEvents(s); err == nil {
+			t.Errorf("ParseEvents(%q) accepted malformed input", s)
+		}
+	}
+}

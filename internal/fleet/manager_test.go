@@ -1,0 +1,215 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+
+	"beamdyn/internal/gpusim"
+)
+
+func testDevices(n int) []*gpusim.Device {
+	devs := make([]*gpusim.Device, n)
+	for i := range devs {
+		devs[i] = gpusim.New(gpusim.KeplerK40())
+	}
+	return devs
+}
+
+func TestFixedLifecycle(t *testing.T) {
+	m := NewFixed(testDevices(2))
+	if m.NumDevices() != 2 {
+		t.Fatalf("NumDevices = %d", m.NumDevices())
+	}
+	if m.State(0) != Healthy || m.Slowdown(0) != 1 {
+		t.Fatalf("fresh device: state=%v slowdown=%g", m.State(0), m.Slowdown(0))
+	}
+
+	m.BeginStep(3)
+	ran := false
+	if err := m.ExecBand(0, func(dev *gpusim.Device) { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("ExecBand did not run fn on a healthy device")
+	}
+
+	// Drain device 1: it must refuse bands without running them.
+	m.SetState(1, Draining, "maintenance")
+	ran = false
+	err := m.ExecBand(1, func(dev *gpusim.Device) { ran = true })
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("draining device: err = %v, want ErrUnavailable", err)
+	}
+	if ran {
+		t.Fatal("ExecBand ran fn on a draining device")
+	}
+
+	trans := m.Transitions()
+	if len(trans) != 1 {
+		t.Fatalf("transitions = %v, want one", trans)
+	}
+	tr := trans[0]
+	if tr.Device != 1 || tr.From != Healthy || tr.To != Draining || tr.Step != 3 || tr.Reason != "maintenance" {
+		t.Fatalf("transition = %+v", tr)
+	}
+
+	// Re-setting the same state records nothing.
+	m.SetState(1, Draining, "again")
+	if len(m.Transitions()) != 1 {
+		t.Fatal("duplicate SetState recorded a transition")
+	}
+
+	// Recovery to Healthy resets the slowdown factor.
+	m.SetSlowdown(1, 4)
+	m.SetState(1, Healthy, "repaired")
+	if m.Slowdown(1) != 1 {
+		t.Fatalf("recovered slowdown = %g, want 1", m.Slowdown(1))
+	}
+}
+
+func TestInjectableBoundaryFailure(t *testing.T) {
+	m := NewInjectable(testDevices(2), []Event{{Kind: EventFail, Device: 1, Step: 5}})
+	m.BeginStep(4)
+	if m.State(1) != Healthy {
+		t.Fatal("failed before its step")
+	}
+	m.BeginStep(5)
+	if m.State(1) != Failed {
+		t.Fatalf("state = %v, want Failed at step boundary", m.State(1))
+	}
+	if err := m.ExecBand(1, func(dev *gpusim.Device) {}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if err := m.ExecBand(0, func(dev *gpusim.Device) {}); err != nil {
+		t.Fatalf("healthy sibling refused work: %v", err)
+	}
+}
+
+func TestInjectableMidStepFailure(t *testing.T) {
+	m := NewInjectable(testDevices(2), []Event{{Kind: EventFail, Device: 0, Step: 7, After: 2}})
+	m.BeginStep(7)
+	if m.State(0) != Healthy {
+		t.Fatal("after>0 failure fired at the step boundary")
+	}
+	if err := m.ExecBand(0, func(dev *gpusim.Device) {}); err != nil {
+		t.Fatalf("first band: %v", err)
+	}
+	ran := false
+	err := m.ExecBand(0, func(dev *gpusim.Device) { ran = true })
+	if !errors.Is(err, ErrMidBand) {
+		t.Fatalf("second band: err = %v, want ErrMidBand", err)
+	}
+	if !ran {
+		t.Fatal("mid-band failure must run fn first (the work is lost, not refused)")
+	}
+	if m.State(0) != Failed {
+		t.Fatalf("state = %v, want Failed", m.State(0))
+	}
+	trans := m.Transitions()
+	if len(trans) != 1 || trans[0].To != Failed || trans[0].Step != 7 {
+		t.Fatalf("transitions = %+v", trans)
+	}
+}
+
+func TestInjectableMissedWindowExpires(t *testing.T) {
+	m := NewInjectable(testDevices(1), []Event{{Kind: EventFail, Device: 0, Step: 5, After: 3}})
+	m.BeginStep(5)
+	if err := m.ExecBand(0, func(dev *gpusim.Device) {}); err != nil {
+		t.Fatal(err)
+	}
+	// Only one band ran during step 5; the window expires at step 6 and
+	// the device survives indefinitely.
+	m.BeginStep(6)
+	for i := 0; i < 5; i++ {
+		if err := m.ExecBand(0, func(dev *gpusim.Device) {}); err != nil {
+			t.Fatalf("band %d after expired window: %v", i, err)
+		}
+	}
+	if m.State(0) != Healthy {
+		t.Fatalf("state = %v, want Healthy", m.State(0))
+	}
+}
+
+func TestInjectableSlowdownAndRecovery(t *testing.T) {
+	m := NewInjectable(testDevices(1), []Event{
+		{Kind: EventSlow, Device: 0, Step: 3, Factor: 2.5, Until: 5},
+	})
+	m.BeginStep(3)
+	if m.State(0) != Degraded || m.Slowdown(0) != 2.5 {
+		t.Fatalf("state=%v slowdown=%g, want Degraded 2.5", m.State(0), m.Slowdown(0))
+	}
+	if err := m.ExecBand(0, func(dev *gpusim.Device) {}); err != nil {
+		t.Fatalf("degraded device must still accept work: %v", err)
+	}
+	m.BeginStep(4)
+	if m.State(0) != Degraded {
+		t.Fatal("recovered early")
+	}
+	m.BeginStep(5)
+	if m.State(0) != Healthy || m.Slowdown(0) != 1 {
+		t.Fatalf("state=%v slowdown=%g, want Healthy 1", m.State(0), m.Slowdown(0))
+	}
+	trans := m.Transitions()
+	if len(trans) != 2 || trans[0].To != Degraded || trans[1].To != Healthy {
+		t.Fatalf("transitions = %+v", trans)
+	}
+}
+
+func TestInjectableDrainAndRecover(t *testing.T) {
+	m := NewInjectable(testDevices(1), []Event{
+		{Kind: EventDrain, Device: 0, Step: 2},
+		{Kind: EventRecover, Device: 0, Step: 4},
+	})
+	m.BeginStep(2)
+	if m.State(0) != Draining {
+		t.Fatalf("state = %v, want Draining", m.State(0))
+	}
+	if err := m.ExecBand(0, func(dev *gpusim.Device) {}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	m.BeginStep(4)
+	if m.State(0) != Healthy {
+		t.Fatalf("state = %v, want Healthy", m.State(0))
+	}
+}
+
+func TestInjectableRejectsOutOfRangeDevice(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("event targeting device 5 of 2 did not panic")
+		}
+	}()
+	NewInjectable(testDevices(2), []Event{{Kind: EventFail, Device: 5, Step: 1}})
+}
+
+func TestRegistryPanics(t *testing.T) {
+	m := NewFixed(testDevices(1))
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("out-of-range State", func() { m.State(7) })
+	mustPanic("non-positive slowdown", func() { m.SetSlowdown(0, 0) })
+	mustPanic("empty registry", func() { NewFixed(nil) })
+}
+
+func TestStateStrings(t *testing.T) {
+	for st, want := range map[State]string{
+		Healthy: "healthy", Degraded: "degraded", Draining: "draining", Failed: "failed",
+	} {
+		if st.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(st), st.String(), want)
+		}
+	}
+	if !Healthy.Schedulable() || !Degraded.Schedulable() {
+		t.Error("healthy/degraded must be schedulable")
+	}
+	if Draining.Schedulable() || Failed.Schedulable() {
+		t.Error("draining/failed must not be schedulable")
+	}
+}

@@ -29,10 +29,18 @@ type Launch struct {
 // Run call parallelises internally across simulated SMs.
 type Device struct {
 	cfg      Config
+	label    string
 	sms      []*smState
 	profiler *Profiler
 	recorder Recorder
 }
+
+// SetLabel names the device for diagnostics (fleet registries label
+// devices "dev0", "dev1", ... so failures and metrics identify hardware).
+func (d *Device) SetLabel(label string) { d.label = label }
+
+// Label returns the diagnostic name set with SetLabel ("" if unset).
+func (d *Device) Label() string { return d.label }
 
 // Recorder receives the aggregated metrics of every kernel launch as it
 // completes. Profiler implements it; external telemetry layers (the obs

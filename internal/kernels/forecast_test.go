@@ -1,0 +1,32 @@
+package kernels
+
+import (
+	"testing"
+
+	"beamdyn/internal/gpusim"
+)
+
+func TestPredictiveForecastRowCosts(t *testing.T) {
+	p, target := fixture(8, 24)
+	pr := NewPredictive(gpusim.New(gpusim.KeplerK40()))
+
+	if rc := pr.ForecastRowCosts(p, target); rc != nil {
+		t.Fatalf("untrained model forecast %v, want nil", rc)
+	}
+
+	pr.Step(p, target.Clone(), 0) // bootstrap + train
+	rc := pr.ForecastRowCosts(p, target)
+	if len(rc) != target.NY {
+		t.Fatalf("forecast length %d, want %d", len(rc), target.NY)
+	}
+	var total float64
+	for iy, c := range rc {
+		if c < 0 {
+			t.Fatalf("row %d forecast cost %g is negative", iy, c)
+		}
+		total += c
+	}
+	if total <= 0 {
+		t.Fatal("forecast is all zeros; trained patterns should predict work")
+	}
+}

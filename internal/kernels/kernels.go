@@ -137,6 +137,18 @@ type Algorithm interface {
 	Reset()
 }
 
+// CostForecaster is implemented by kernels that can forecast the relative
+// cost of evaluating each target row before the step runs. The Predictive
+// kernel derives it from its learned access-pattern forecast (a row's
+// predicted grid references are a proxy for its integration work); fleet
+// schedulers use the forecast to place row-bands across devices.
+type CostForecaster interface {
+	// ForecastRowCosts returns one relative cost per target row, or nil
+	// when no trustworthy forecast exists yet (untrained model, geometry
+	// mismatch) — callers then fall back to measured or uniform costs.
+	ForecastRowCosts(p *retard.Problem, target *grid.Grid) []float64
+}
+
 // gridCenter returns the physical centre of the target grid, the origin of
 // the bunch-frame coordinates used as prediction features.
 func gridCenter(target *grid.Grid) (cx, cy float64) {

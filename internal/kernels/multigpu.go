@@ -2,6 +2,7 @@ package kernels
 
 import (
 	"fmt"
+	"sync"
 
 	"beamdyn/internal/grid"
 	"beamdyn/internal/obs"
@@ -59,29 +60,72 @@ func (m *MultiGPU) SetObserver(o *obs.Observer) {
 	}
 }
 
-// Step implements Algorithm: bands of target rows run on each device and
-// the results are reassembled.
+// BandSplit splits ny rows into at most want contiguous bands of at least
+// two rows each (the grid minimum), sizes differing by at most one row.
+// It returns the [lo, hi) bounds in row order. Fewer than want bands come
+// back when ny cannot feed them all — callers idle the surplus devices
+// rather than handing them sub-minimal grids.
+func BandSplit(ny, want int) [][2]int {
+	if want < 1 {
+		want = 1
+	}
+	if max := ny / 2; want > max {
+		want = max
+	}
+	if want < 1 {
+		want = 1
+	}
+	base, rem := ny/want, ny%want
+	out := make([][2]int, 0, want)
+	lo := 0
+	for i := 0; i < want; i++ {
+		h := base
+		if i < rem {
+			h++
+		}
+		out = append(out, [2]int{lo, lo + h})
+		lo += h
+	}
+	return out
+}
+
+// Step implements Algorithm: bands of target rows run concurrently, one
+// goroutine per device, and the results are reassembled in band order so
+// the output is deterministic.
 func (m *MultiGPU) Step(p *retard.Problem, target *grid.Grid, comp int) *StepResult {
-	d := len(m.Algos)
-	if d == 1 {
+	bounds := BandSplit(target.NY, len(m.Algos))
+	if len(bounds) == 1 {
 		return m.Algos[0].Step(p, target, comp)
 	}
-	agg := &StepResult{}
-	var maxTime float64
-	rowsPerDev := (target.NY + d - 1) / d
-	for dev := 0; dev < d; dev++ {
-		lo := dev * rowsPerDev
-		hi := lo + rowsPerDev
-		if hi > target.NY {
-			hi = target.NY
-		}
-		if lo >= hi {
-			continue
-		}
+
+	// Each device owns a pre-sized result slot; no shared state is written
+	// during the concurrent phase (the band grids are disjoint and the
+	// moment-grid history is read-only).
+	type slot struct {
+		band *grid.Grid
+		res  *StepResult
+	}
+	slots := make([]slot, len(bounds))
+	var wg sync.WaitGroup
+	for dev, b := range bounds {
+		lo, hi := b[0], b[1]
 		band := grid.New(target.NX, hi-lo, target.Comp,
 			target.X0, target.Y0+float64(lo)*target.DY, target.DX, target.DY)
 		band.Step = target.Step
-		res := m.Algos[dev].Step(p, band, comp)
+		slots[dev].band = band
+		wg.Add(1)
+		go func(dev int) {
+			defer wg.Done()
+			slots[dev].res = m.Algos[dev].Step(p, slots[dev].band, comp)
+		}(dev)
+	}
+	wg.Wait()
+
+	agg := &StepResult{Points: make([]Point, 0, target.NX*target.NY)}
+	var maxTime float64
+	for dev, b := range bounds {
+		lo := b[0]
+		band, res := slots[dev].band, slots[dev].res
 
 		// Copy the band's potentials back into the full target.
 		for iy := 0; iy < band.NY; iy++ {

@@ -1,0 +1,181 @@
+package kernels
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"beamdyn/internal/grid"
+	"beamdyn/internal/retard"
+)
+
+// stubAlgo is a scripted Algorithm for scheduler-level tests: it writes a
+// row-coordinate sentinel into every band point (so reassembly coverage is
+// checkable), reports a preset simulated time, and can sleep to make
+// host-side concurrency observable.
+type stubAlgo struct {
+	simTime float64
+	sleep   time.Duration
+	running *atomic.Int32 // current concurrent Step calls
+	peak    *atomic.Int32 // high-water mark of running
+}
+
+func (s *stubAlgo) Name() string { return "stub" }
+func (s *stubAlgo) Reset()       {}
+
+func (s *stubAlgo) Step(p *retard.Problem, target *grid.Grid, comp int) *StepResult {
+	if s.running != nil {
+		n := s.running.Add(1)
+		for {
+			old := s.peak.Load()
+			if n <= old || s.peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		defer s.running.Add(-1)
+	}
+	if s.sleep > 0 {
+		time.Sleep(s.sleep)
+	}
+	for iy := 0; iy < target.NY; iy++ {
+		for ix := 0; ix < target.NX; ix++ {
+			target.Set(ix, iy, comp, target.Y0+float64(iy)*target.DY)
+		}
+	}
+	res := &StepResult{Points: make([]Point, target.NX*target.NY)}
+	res.Metrics.Time = s.simTime
+	return res
+}
+
+// sentinelGrid builds a target whose Y0/DY are small integers, so the
+// stub's band-written sentinel (physical y) is exactly representable and
+// full-target coverage can be asserted bitwise.
+func sentinelGrid(nx, ny int) *grid.Grid {
+	return grid.New(nx, ny, 1, 0, 0, 1, 1)
+}
+
+func assertFullTarget(t *testing.T, g *grid.Grid) {
+	t.Helper()
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			if got, want := g.At(ix, iy, 0), float64(iy); got != want {
+				t.Fatalf("row %d col %d = %g, want %g (band never written?)", iy, ix, got, want)
+			}
+		}
+	}
+}
+
+func TestMultiGPUTimeIsMaxNotSum(t *testing.T) {
+	m := NewMultiGPU(4, func(d int) Algorithm {
+		return &stubAlgo{simTime: float64(d + 1)}
+	})
+	target := sentinelGrid(8, 16)
+	res := m.Step(nil, target, 0)
+	// Devices run concurrently in simulated time: the aggregate is the
+	// slowest device (4), not the sum (10).
+	if res.Metrics.Time != 4 {
+		t.Fatalf("aggregated Metrics.Time = %g, want max 4 (sum would be 10)", res.Metrics.Time)
+	}
+	assertFullTarget(t, target)
+}
+
+func TestMultiGPUStepsRunConcurrently(t *testing.T) {
+	var running, peak atomic.Int32
+	const devices = 4
+	m := NewMultiGPU(devices, func(d int) Algorithm {
+		return &stubAlgo{sleep: 50 * time.Millisecond, running: &running, peak: &peak}
+	})
+	target := sentinelGrid(8, 16)
+	t0 := time.Now()
+	m.Step(nil, target, 0)
+	wall := time.Since(t0)
+	if p := peak.Load(); p < 2 {
+		t.Fatalf("peak concurrent device Steps = %d, want >= 2", p)
+	}
+	// Sequential execution would take >= devices * sleep = 200ms.
+	if wall >= devices*50*time.Millisecond {
+		t.Fatalf("wall time %v not faster than sequential execution", wall)
+	}
+}
+
+func TestMultiGPUBandEdgeCases(t *testing.T) {
+	cases := []struct {
+		name         string
+		ny, devices  int
+		wantMaxBands int
+	}{
+		{"fewer rows than devices", 3, 4, 1},
+		{"rows not divisible by devices", 7, 3, 3},
+		{"two-row minimum caps bands", 5, 3, 2},
+		{"single device degenerate", 9, 1, 1},
+		{"even split", 16, 4, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMultiGPU(tc.devices, func(d int) Algorithm {
+				return &stubAlgo{simTime: 1}
+			})
+			target := sentinelGrid(4, tc.ny)
+			res := m.Step(nil, target, 0)
+			assertFullTarget(t, target)
+			if got, want := len(res.Points), 4*tc.ny; got != want {
+				t.Fatalf("aggregated points = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestBandSplit(t *testing.T) {
+	cases := []struct {
+		ny, want int
+		bands    [][2]int
+	}{
+		{16, 4, [][2]int{{0, 4}, {4, 8}, {8, 12}, {12, 16}}},
+		{7, 3, [][2]int{{0, 3}, {3, 5}, {5, 7}}},
+		{3, 4, [][2]int{{0, 3}}},         // can't give 4 devices >= 2 rows each
+		{5, 3, [][2]int{{0, 3}, {3, 5}}}, // capped at NY/2 bands
+		{2, 5, [][2]int{{0, 2}}},         // minimum grid
+		{10, 0, [][2]int{{0, 10}}},       // degenerate request
+		{64, 8, nil},                     // checked structurally below
+	}
+	for _, tc := range cases {
+		got := BandSplit(tc.ny, tc.want)
+		// Structural invariants: contiguous cover of [0, ny), every band
+		// at least 2 rows (unless ny < 4 forces a single band), sizes
+		// within one row of each other.
+		lo := 0
+		minH, maxH := tc.ny, 0
+		for _, b := range got {
+			if b[0] != lo {
+				t.Fatalf("BandSplit(%d,%d): band %v not contiguous at %d", tc.ny, tc.want, b, lo)
+			}
+			h := b[1] - b[0]
+			if h < 2 && len(got) > 1 {
+				t.Fatalf("BandSplit(%d,%d): band %v below 2-row minimum", tc.ny, tc.want, b)
+			}
+			if h < minH {
+				minH = h
+			}
+			if h > maxH {
+				maxH = h
+			}
+			lo = b[1]
+		}
+		if lo != tc.ny {
+			t.Fatalf("BandSplit(%d,%d): covers [0,%d), want [0,%d)", tc.ny, tc.want, lo, tc.ny)
+		}
+		if maxH-minH > 1 {
+			t.Fatalf("BandSplit(%d,%d): unbalanced band heights %d..%d", tc.ny, tc.want, minH, maxH)
+		}
+		if tc.bands != nil {
+			if len(got) != len(tc.bands) {
+				t.Fatalf("BandSplit(%d,%d) = %v, want %v", tc.ny, tc.want, got, tc.bands)
+			}
+			for i := range got {
+				if got[i] != tc.bands[i] {
+					t.Fatalf("BandSplit(%d,%d) = %v, want %v", tc.ny, tc.want, got, tc.bands)
+				}
+			}
+		}
+	}
+}

@@ -318,6 +318,43 @@ func (pr *Predictive) Step(p *retard.Problem, target *grid.Grid, comp int) *Step
 	return res
 }
 
+// ForecastRowCosts implements CostForecaster: the learned access-pattern
+// forecast, summed over subregions, approximates the panel count (and so
+// the integration work) of a grid point. Each row's cost samples a few
+// columns across it — the pattern field is smooth along a row, so a
+// sparse sample ranks rows as well as the full sweep at a fraction of the
+// prediction cost. Returns nil before the model has trained on a grid of
+// this subregion count.
+func (pr *Predictive) ForecastRowCosts(p *retard.Problem, target *grid.Grid) []float64 {
+	numSub := p.NumSub()
+	if pr.Pred == nil || !pr.Pred.Trained() || pr.Pred.OutDim() != numSub {
+		return nil
+	}
+	cx, cy := gridCenter(target)
+	stride := target.NX / 16
+	if stride < 1 {
+		stride = 1
+	}
+	buf := make([]float64, numSub)
+	costs := make([]float64, target.NY)
+	for iy := 0; iy < target.NY; iy++ {
+		var sum float64
+		var n int
+		for ix := 0; ix < target.NX; ix += stride {
+			x, y := target.Point(ix, iy)
+			pr.Pred.Predict([]float64{x - cx, y - cy}, buf)
+			for _, v := range buf {
+				if v > 0 {
+					sum += v
+				}
+			}
+			n++
+		}
+		costs[iy] = sum / float64(n)
+	}
+	return costs
+}
+
 func (pr *Predictive) threadsPerBlock() int {
 	if pr.ThreadsPerBlock > 0 {
 		return pr.ThreadsPerBlock
