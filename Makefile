@@ -1,10 +1,10 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race test-fleet-race bench-obs
+.PHONY: ci fmt vet build test race test-fleet-race bench-obs bench-host bench-json bench-json-ci
 
 # The full local CI gate: what a PR must pass.
-ci: fmt vet build race test-fleet-race bench-obs
+ci: fmt vet build race test-fleet-race bench-obs bench-host bench-json-ci
 
 # Formatting gate: fail (and list the offenders) if any file needs gofmt.
 fmt:
@@ -35,3 +35,20 @@ test-fleet-race:
 # with benchstat when available).
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchtime 5x ./internal/kernels
+
+# Host-phase microbenchmark: predict/cluster/train ns per step and
+# allocations per step, per worker count (see internal/hostpar).
+bench-host:
+	$(GO) test -run '^$$' -bench 'BenchmarkPredictiveHostPhases' -benchtime 3x \
+		-benchmem ./internal/kernels
+
+# Refresh the committed BENCH_host.json at the canonical 128x128 size.
+bench-json:
+	$(GO) run ./cmd/benchhost -grid 128 -steps 3 -warmup 2 -workers 1,2,4 \
+		-out BENCH_host.json
+
+# CI variant: exercise the same measurement path on a small grid with a
+# throwaway output file, so ci cannot clobber the committed numbers.
+bench-json-ci:
+	$(GO) run ./cmd/benchhost -grid 32 -steps 2 -warmup 1 -workers 1,2 \
+		-out /tmp/BENCH_host_ci.json

@@ -51,6 +51,8 @@ func main() {
 		load    = flag.String("load", "", "resume from a checkpoint file")
 		save    = flag.String("save", "", "write a checkpoint file at the end")
 
+		hostWorkers = flag.Int("host-workers", 0, "host-side worker count for the kernels' predict/cluster/train phases (0 = GOMAXPROCS; results are identical for any value)")
+
 		devices   = flag.Int("devices", 1, "number of simulated devices")
 		fleetMode = flag.Bool("fleet", false, "schedule row-bands dynamically across the devices via the fleet manager")
 		inject    = flag.String("inject", "", "scripted fleet health events, e.g. \"fail:dev=1,step=9,after=2;slow:dev=2,step=8,factor=3,until=12\" (implies -fleet)")
@@ -83,6 +85,7 @@ func main() {
 		cfg.Rigid = !*dynamic
 		sim = beamdyn.New(cfg)
 	}
+	sim.Cfg.HostWorkers = *hostWorkers
 	if *inject != "" {
 		*fleetMode = true
 	}

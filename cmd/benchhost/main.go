@@ -1,0 +1,195 @@
+// Command benchhost measures the kernels' host-side phase costs (predict,
+// cluster, train) in ns/step and allocations/step, per kernel and per host
+// worker count, and writes the result as JSON. `make bench-json` runs it at
+// the committed 128x128 configuration and refreshes BENCH_host.json.
+//
+// Usage:
+//
+//	benchhost -grid 128 -steps 3 -warmup 2 -workers 1,2,4 -out BENCH_host.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"beamdyn/internal/analytic"
+	"beamdyn/internal/gpusim"
+	"beamdyn/internal/grid"
+	"beamdyn/internal/kernels"
+	"beamdyn/internal/phys"
+	"beamdyn/internal/retard"
+)
+
+// phaseStats is one (kernel, workers) measurement, averaged over the
+// measured steps.
+type phaseStats struct {
+	Workers         int     `json:"workers"`
+	StepWallNs      float64 `json:"step_wall_ns"`
+	PredictNs       float64 `json:"predict_ns"`
+	ClusterNs       float64 `json:"cluster_ns"`
+	TrainNs         float64 `json:"train_ns"`
+	HostNs          float64 `json:"host_ns"`
+	PredictAllocs   float64 `json:"predict_allocs"`
+	ClusterAllocs   float64 `json:"cluster_allocs"`
+	TrainAllocs     float64 `json:"train_allocs"`
+	FallbackEntries float64 `json:"fallback_entries"`
+}
+
+// report is the BENCH_host.json schema.
+type report struct {
+	Benchmark    string                  `json:"benchmark"`
+	Date         string                  `json:"date"`
+	Grid         int                     `json:"grid"`
+	Steps        int                     `json:"steps"`
+	Warmup       int                     `json:"warmup"`
+	GoMaxProcs   int                     `json:"gomaxprocs"`
+	SeedBaseline map[string]any          `json:"seed_baseline"`
+	Kernels      map[string][]phaseStats `json:"kernels"`
+}
+
+// problem rebuilds the continuum benchmark scenario of the kernel tests at
+// the requested grid resolution.
+func problem(nx int) (*retard.Problem, *grid.Grid) {
+	beam := phys.Beam{
+		NumParticles: 1, TotalCharge: 1e-9,
+		SigmaX: 20e-6, SigmaY: 50e-6, Energy: 4.3e9,
+	}
+	params := retard.Params{
+		Dt:        50e-6 / phys.C,
+		Kappa:     4,
+		Tol:       1e-8,
+		WeightExp: 1.0 / 3,
+		Component: grid.CompCharge,
+	}
+	h := grid.NewHistory(params.Kappa + 4)
+	v := beam.Beta() * phys.C
+	var last *grid.Grid
+	for s := 0; s < 8; s++ {
+		cy := float64(s) * v * params.Dt
+		hx, hy := 5*beam.SigmaX, 5*beam.SigmaY
+		g := grid.New(nx, nx, grid.MomentComponents, -hx, cy-hy, 2*hx/float64(nx-1), 2*hy/float64(nx-1))
+		g.Step = s
+		analytic.ContinuumDeposit(g, beam, 0, cy)
+		h.Push(g)
+		last = g
+	}
+	p := retard.NewProblem(h, params)
+	target := grid.New(nx, nx, 1, last.X0, last.Y0, last.DX, last.DY)
+	return p, target
+}
+
+func measure(mk func() kernels.Algorithm, workers, warmup, steps int, p *retard.Problem, target *grid.Grid) phaseStats {
+	algo := mk()
+	if hp, ok := algo.(kernels.HostParallel); ok {
+		hp.SetHostWorkers(workers)
+	}
+	for s := 0; s < warmup; s++ {
+		algo.Step(p, target.Clone(), 0)
+	}
+	st := phaseStats{Workers: workers}
+	for s := 0; s < steps; s++ {
+		g := target.Clone()
+		t0 := time.Now()
+		res := algo.Step(p, g, 0)
+		st.StepWallNs += time.Since(t0).Seconds() * 1e9
+		st.PredictNs += res.Host.Predict * 1e9
+		st.ClusterNs += res.Host.Clustering * 1e9
+		st.TrainNs += res.Host.Train * 1e9
+		st.PredictAllocs += float64(res.Host.PredictAllocs)
+		st.ClusterAllocs += float64(res.Host.ClusteringAllocs)
+		st.TrainAllocs += float64(res.Host.TrainAllocs)
+		st.FallbackEntries += float64(res.FallbackEntries)
+	}
+	inv := 1 / float64(steps)
+	st.StepWallNs *= inv
+	st.PredictNs *= inv
+	st.ClusterNs *= inv
+	st.TrainNs *= inv
+	st.HostNs = st.PredictNs + st.ClusterNs + st.TrainNs
+	st.PredictAllocs *= inv
+	st.ClusterAllocs *= inv
+	st.TrainAllocs *= inv
+	st.FallbackEntries *= inv
+	return st
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchhost: ")
+	var (
+		nx      = flag.Int("grid", 128, "grid resolution (NxN)")
+		steps   = flag.Int("steps", 3, "measured steps per configuration")
+		warmup  = flag.Int("warmup", 2, "warm-up steps per configuration (train the model, warm the scratch)")
+		workers = flag.String("workers", "1,2,4", "comma-separated host worker counts")
+		out     = flag.String("out", "BENCH_host.json", "output file")
+	)
+	flag.Parse()
+
+	var counts []int
+	for _, f := range strings.Split(*workers, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			log.Fatalf("bad -workers entry %q", f)
+		}
+		counts = append(counts, w)
+	}
+
+	kernels.CountHostAllocs = true
+	p, target := problem(*nx)
+	mks := map[string]func() kernels.Algorithm{
+		"predictive": func() kernels.Algorithm { return kernels.NewPredictive(gpusim.New(gpusim.KeplerK40())) },
+		"heuristic":  func() kernels.Algorithm { return kernels.NewHeuristic(gpusim.New(gpusim.KeplerK40())) },
+		"twophase":   func() kernels.Algorithm { return kernels.NewTwoPhase(gpusim.New(gpusim.KeplerK40())) },
+	}
+
+	rep := report{
+		Benchmark:  "host-phases",
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Grid:       *nx,
+		Steps:      *steps,
+		Warmup:     *warmup,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		// Pre-refactor (serial, allocating) host-phase costs, measured on
+		// this machine at 128x128 steady state before internal/hostpar
+		// landed; kept for the speedup/alloc-drop comparison.
+		SeedBaseline: map[string]any{
+			"grid":                    128,
+			"predict_sec":             0.0248,
+			"cluster_sec":             0.0013,
+			"train_sec":               0.0186,
+			"predict_allocs_per_step": 228868,
+		},
+		Kernels: map[string][]phaseStats{},
+	}
+	for name, mk := range mks {
+		for _, w := range counts {
+			st := measure(mk, w, *warmup, *steps, p, target)
+			rep.Kernels[name] = append(rep.Kernels[name], st)
+			fmt.Printf("%-10s workers=%d: step=%.3fms host=%.3fms (predict=%.3f cluster=%.3f train=%.3f) allocs=%.0f/%.0f/%.0f\n",
+				name, w, st.StepWallNs/1e6, st.HostNs/1e6,
+				st.PredictNs/1e6, st.ClusterNs/1e6, st.TrainNs/1e6,
+				st.PredictAllocs, st.ClusterAllocs, st.TrainAllocs)
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -151,10 +151,18 @@ func FromPartition(partition []float64, subWidth float64, numSub int) Pattern {
 // breakpoint is clamped to R. Predicted counts below 1 still produce one
 // panel, because every subregion intersected by [0, R] must be integrated.
 func (p Pattern) UniformPartition(subWidth, r float64) []float64 {
+	return p.AppendUniformPartition(nil, subWidth, r)
+}
+
+// AppendUniformPartition is UniformPartition appending into dst (typically
+// a reused scratch slice passed as dst[:0]) and returning the extended
+// slice. The kernels' per-step partition builders use it with per-worker
+// scratch so steady-state steps allocate nothing.
+func (p Pattern) AppendUniformPartition(dst []float64, subWidth, r float64) []float64 {
 	if r <= 0 {
-		return []float64{0, 0}
+		return append(dst, 0, 0)
 	}
-	out := []float64{0}
+	dst = append(dst, 0)
 	for j := 0; ; j++ {
 		a := float64(j) * subWidth
 		if a >= r {
@@ -172,14 +180,14 @@ func (p Pattern) UniformPartition(subWidth, r float64) []float64 {
 		}
 		h := (b - a) / float64(n)
 		for i := 1; i <= n; i++ {
-			out = append(out, a+float64(i)*h)
+			dst = append(dst, a+float64(i)*h)
 		}
-		out[len(out)-1] = b
+		dst[len(dst)-1] = b
 		if b == r {
 			break
 		}
 	}
-	return out
+	return dst
 }
 
 // AdaptivePartition implements the adaptive-partitioning forecast transform

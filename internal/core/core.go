@@ -68,6 +68,10 @@ type Config struct {
 	// converting to accelerations (default 1; validation compares shapes,
 	// not absolute units).
 	ForceScale float64
+	// HostWorkers bounds the worker count of the kernels' host-side
+	// learning phases (predict, cluster, train); <= 0 means GOMAXPROCS.
+	// Results are bitwise identical for any value (see internal/hostpar).
+	HostWorkers int
 }
 
 func (c *Config) fillDefaults() {
@@ -218,6 +222,9 @@ func (s *Simulation) Advance() int {
 		if s.Algo != nil {
 			if ob, ok := s.Algo.(kernels.Observable); ok {
 				ob.SetObserver(s.Obs)
+			}
+			if hp, ok := s.Algo.(kernels.HostParallel); ok {
+				hp.SetHostWorkers(s.Cfg.HostWorkers)
 			}
 			s.Last = s.Algo.Step(prob, pot, 0)
 		} else {

@@ -127,6 +127,16 @@ func (f *Fleet) SetObserver(o *obs.Observer) {
 	}
 }
 
+// SetHostWorkers implements kernels.HostParallel, forwarding the host
+// worker budget to every per-device kernel that supports it.
+func (f *Fleet) SetHostWorkers(n int) {
+	for _, a := range f.algos {
+		if hp, ok := a.(kernels.HostParallel); ok {
+			hp.SetHostWorkers(n)
+		}
+	}
+}
+
 // LastStats returns the scheduler statistics of the most recent Step.
 func (f *Fleet) LastStats() Stats {
 	f.mu.Lock()

@@ -1,0 +1,154 @@
+package hostpar
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+// Every index must be visited exactly once, for any worker count,
+// including counts above n and the inline single-worker path.
+func TestForCoversExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, w := range []int{1, 2, 3, 8, 1001} {
+			visits := make([]int32, n)
+			For(n, w, func(worker, lo, hi int) {
+				if lo > hi || lo < 0 || hi > n {
+					t.Fatalf("n=%d w=%d: bad range [%d,%d)", n, w, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, v)
+				}
+			}
+		}
+	}
+}
+
+// Worker ranges must be a deterministic function of (n, workers) alone:
+// the same split every call, contiguous and in worker order.
+func TestForStaticPartition(t *testing.T) {
+	n, w := 103, 7
+	ranges := make([][2]int, w)
+	For(n, w, func(worker, lo, hi int) {
+		ranges[worker] = [2]int{lo, hi}
+	})
+	prev := 0
+	for i, r := range ranges {
+		if r[0] != prev {
+			t.Fatalf("worker %d starts at %d, want %d", i, r[0], prev)
+		}
+		prev = r[1]
+	}
+	if prev != n {
+		t.Fatalf("ranges end at %d, want %d", prev, n)
+	}
+}
+
+// Writing results by index must produce identical output for any worker
+// count — the contract every kernel host phase relies on.
+func TestForDeterministicByIndex(t *testing.T) {
+	const n = 513
+	ref := make([]float64, n)
+	For(n, 1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ref[i] = float64(i) * 1.5
+		}
+	})
+	for _, w := range []int{2, 3, 5, 16} {
+		got := make([]float64, n)
+		For(n, w, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				got[i] = float64(i) * 1.5
+			}
+		})
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: index %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestArenaTakeAndCopy(t *testing.T) {
+	var a Arena[float64]
+	s1 := a.Take(3)
+	for i := range s1 {
+		s1[i] = float64(i)
+	}
+	s2 := a.Copy([]float64{9, 8})
+	// s1 must not alias s2.
+	if &s1[0] == &s2[0] {
+		t.Fatal("Take and Copy alias")
+	}
+	if s1[0] != 0 || s1[2] != 2 || s2[0] != 9 || s2[1] != 8 {
+		t.Fatalf("contents clobbered: %v %v", s1, s2)
+	}
+	if got := a.Copy(nil); got != nil {
+		t.Fatalf("Copy(nil) = %v", got)
+	}
+	// A request larger than the chunk size must still be satisfied.
+	big := a.Take(3 * arenaMinChunk)
+	if len(big) != 3*arenaMinChunk {
+		t.Fatalf("big Take len %d", len(big))
+	}
+}
+
+// After Reset the arena must reuse its chunks instead of allocating.
+func TestArenaSteadyStateAllocFree(t *testing.T) {
+	var a Arena[float64]
+	fill := func() {
+		a.Reset()
+		for i := 0; i < 100; i++ {
+			s := a.Take(37)
+			s[0] = 1
+		}
+	}
+	fill() // grow chunks
+	allocs := testing.AllocsPerRun(10, fill)
+	if allocs != 0 {
+		t.Errorf("steady-state Take allocated %.1f times per run", allocs)
+	}
+}
+
+// Take slices must be capacity-capped so an append cannot bleed into the
+// next allocation.
+func TestArenaTakeCapped(t *testing.T) {
+	var a Arena[int]
+	s := a.Take(4)
+	next := a.Take(1)
+	next[0] = 42
+	s = append(s, 7) // must reallocate, not overwrite next
+	if next[0] != 42 {
+		t.Fatal("append past Take overwrote the next allocation")
+	}
+	_ = s
+}
+
+func TestResize(t *testing.T) {
+	s := make([]int, 4, 16)
+	r := Resize(s, 10)
+	if len(r) != 10 || &r[0] != &s[0] {
+		t.Fatal("Resize should reuse capacity")
+	}
+	r2 := Resize(s, 32)
+	if len(r2) != 32 {
+		t.Fatal("Resize growth")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"beamdyn/internal/access"
 	"beamdyn/internal/gpusim"
 	"beamdyn/internal/grid"
+	"beamdyn/internal/hostpar"
 	"beamdyn/internal/obs"
 	"beamdyn/internal/retard"
 )
@@ -30,10 +31,13 @@ type Heuristic struct {
 	TileW, TileH int
 	// PanelsPerSub seeds the first step's partition (default 2).
 	PanelsPerSub int
+	// HostWorkers bounds the host-side worker count (<= 0: GOMAXPROCS).
+	HostWorkers int
 
 	prevPat   []access.Pattern
 	prevNX    int
 	prevNY    int
+	parts     [][]float64
 	partAddrs []uintptr
 	obs       *obs.Observer
 	errBuf    []float64
@@ -41,6 +45,9 @@ type Heuristic struct {
 
 // SetObserver implements Observable.
 func (h *Heuristic) SetObserver(o *obs.Observer) { h.obs = o }
+
+// SetHostWorkers implements HostParallel.
+func (h *Heuristic) SetHostWorkers(n int) { h.HostWorkers = n }
 
 // NewHeuristic returns the kernel with the configuration of [10]: 32x4
 // spatial tiles (fine enough for SM load balance, wide enough for warp
@@ -57,7 +64,8 @@ func (h *Heuristic) Reset() { h.prevPat, h.prevNX, h.prevNY = nil, 0, 0 }
 
 // Step implements Algorithm.
 func (h *Heuristic) Step(p *retard.Problem, target *grid.Grid, comp int) *StepResult {
-	points := buildPoints(p, target)
+	workers := hostpar.Workers(h.HostWorkers)
+	points := buildPoints(p, target, workers)
 	res := &StepResult{}
 	if h.prevNX != target.NX || h.prevNY != target.NY {
 		h.prevPat = nil
@@ -68,16 +76,23 @@ func (h *Heuristic) Step(p *retard.Problem, target *grid.Grid, comp int) *StepRe
 	// forecast), or the coarse uniform seed on the first step. Partitions
 	// live at per-point device addresses, so a warp's breakpoint loads
 	// scatter (one array per lane) — the memory cost the Predictive
-	// kernel's shared merged partitions avoid.
-	parts := make([][]float64, len(points))
-	h.partAddrs = make([]uintptr, len(points))
-	var cursor uintptr
-	for i := range points {
-		if h.prevPat != nil && len(h.prevPat[i]) == p.NumSub() {
-			parts[i] = h.prevPat[i].UniformPartition(p.SubWidth(), points[i].R)
-		} else {
-			parts[i] = uniformCoarsePartition(p, points[i].R, h.PanelsPerSub)
+	// kernel's shared merged partitions avoid. Each partition depends only
+	// on its own point, so the build fans out over the worker pool; the
+	// address cursor is sequential and runs as a second, serial pass.
+	h.parts = hostpar.Resize(h.parts, len(points))
+	parts := h.parts
+	h.partAddrs = hostpar.Resize(h.partAddrs, len(points))
+	hostpar.For(len(points), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if h.prevPat != nil && len(h.prevPat[i]) == p.NumSub() {
+				parts[i] = h.prevPat[i].UniformPartition(p.SubWidth(), points[i].R)
+			} else {
+				parts[i] = uniformCoarsePartition(p, points[i].R, h.PanelsPerSub)
+			}
 		}
+	})
+	var cursor uintptr
+	for i := range parts {
 		h.partAddrs[i] = RegionParts + cursor
 		cursor += uintptr(len(parts[i])) * 8
 	}
@@ -106,8 +121,8 @@ func (h *Heuristic) Step(p *retard.Problem, target *grid.Grid, comp int) *StepRe
 	res.Launches += launches
 	sp.End(obs.I("entries", len(entries)), obs.F("sim_sec", rm.Time))
 
-	finishPatterns(p, points)
-	storeResults(points, target, comp)
+	finishPatterns(p, points, workers)
+	storeResults(points, target, comp, workers)
 
 	// The persistence forecast (reuse of last step's pattern) is a model
 	// too: record its error against the observed patterns, so Heuristic-RP
@@ -128,10 +143,13 @@ func (h *Heuristic) Step(p *retard.Problem, target *grid.Grid, comp int) *StepRe
 		}, errs)
 	}
 
-	h.prevPat = make([]access.Pattern, len(points))
-	for i := range points {
-		h.prevPat[i] = points[i].Pattern
-	}
+	h.prevPat = hostpar.Resize(h.prevPat, len(points))
+	prevPat := h.prevPat
+	hostpar.For(len(points), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			prevPat[i] = points[i].Pattern
+		}
+	})
 	h.prevNX, h.prevNY = target.NX, target.NY
 	res.Points = points
 	return res

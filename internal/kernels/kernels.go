@@ -23,11 +23,13 @@ package kernels
 
 import (
 	"math"
+	"runtime"
 	"sort"
 
 	"beamdyn/internal/access"
 	"beamdyn/internal/gpusim"
 	"beamdyn/internal/grid"
+	"beamdyn/internal/hostpar"
 	"beamdyn/internal/quadrature"
 	"beamdyn/internal/retard"
 )
@@ -84,6 +86,40 @@ type HostTimes struct {
 	Predict float64
 	// Train is the ONLINE-LEARNING time.
 	Train float64
+	// PredictAllocs, ClusteringAllocs and TrainAllocs count the heap
+	// allocations performed during the corresponding phase. They are
+	// populated only while CountHostAllocs is set (the accounting reads
+	// runtime.MemStats, which is far too expensive for production steps)
+	// and are zero otherwise.
+	PredictAllocs, ClusteringAllocs, TrainAllocs uint64
+}
+
+// CountHostAllocs enables per-phase heap-allocation accounting in the
+// kernels' host stages (the *Allocs fields of HostTimes). It is meant for
+// the bench harness (cmd/benchhost, BenchmarkPredictiveHostPhases); the
+// ReadMemStats it triggers stops the world, so leave it off elsewhere.
+// Toggle only while no kernel step is in flight.
+var CountHostAllocs bool
+
+// hostAllocCount samples the cumulative heap-allocation counter, or 0 when
+// accounting is disabled (so deltas of two samples are also 0).
+func hostAllocCount() uint64 {
+	if !CountHostAllocs {
+		return 0
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// HostParallel is implemented by kernels whose host-side stages run on the
+// deterministic worker pool of internal/hostpar. SetHostWorkers bounds the
+// worker count (values <= 0 mean runtime.GOMAXPROCS); wrappers (MultiGPU,
+// fleet schedulers) forward the setting to their per-device kernels. Every
+// host loop partitions its index range statically and writes results by
+// index, so a kernel's output is bitwise identical for every worker count.
+type HostParallel interface {
+	SetHostWorkers(n int)
 }
 
 // Overhead is the total host-side overhead.
@@ -156,24 +192,29 @@ func gridCenter(target *grid.Grid) (cx, cy float64) {
 	return 0.5 * (x0 + x1), 0.5 * (y0 + y1)
 }
 
-// buildPoints constructs the per-point task list for a target grid.
-func buildPoints(p *retard.Problem, target *grid.Grid) []Point {
+// buildPoints constructs the per-point task list for a target grid. The
+// fill runs on the host worker pool (R evaluations are pure reads of the
+// problem); the backing array is fresh each step because StepResult hands
+// the points to the caller.
+func buildPoints(p *retard.Problem, target *grid.Grid, workers int) []Point {
 	pts := make([]Point, target.NX*target.NY)
-	for iy := 0; iy < target.NY; iy++ {
-		for ix := 0; ix < target.NX; ix++ {
-			x, y := target.Point(ix, iy)
-			i := iy*target.NX + ix
+	hostpar.For(len(pts), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x, y := target.Point(i%target.NX, i/target.NX)
 			pts[i] = Point{X: x, Y: y, R: p.R(x, y)}
 		}
-	}
+	})
 	return pts
 }
 
-// storeResults writes the accumulated potentials into the target grid.
-func storeResults(points []Point, target *grid.Grid, comp int) {
-	for i := range points {
-		target.Set(i%target.NX, i/target.NX, comp, points[i].I)
-	}
+// storeResults writes the accumulated potentials into the target grid,
+// each worker owning a disjoint range of cells.
+func storeResults(points []Point, target *grid.Grid, comp int, workers int) {
+	hostpar.For(len(points), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			target.Set(i%target.NX, i/target.NX, comp, points[i].I)
+		}
+	})
 }
 
 // workEntry is one refinement task: integrate f over [a, b] for point pt
@@ -301,10 +342,14 @@ func adaptivePhase(dev *gpusim.Device, p *retard.Problem, points []Point, entrie
 // final partition (Algorithm 1 line 20: patterns observed during the
 // computation, including the adaptive additions). Panels whose angular
 // window was empty performed no grid references and do not count.
-func finishPatterns(p *retard.Problem, points []Point) {
-	for i := range points {
-		points[i].Pattern = p.ObservedPattern(points[i].X, points[i].Y, points[i].Partition)
-	}
+// ObservedPattern is a pure read of the problem, so points split across
+// the worker pool.
+func finishPatterns(p *retard.Problem, points []Point, workers int) {
+	hostpar.For(len(points), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			points[i].Pattern = p.ObservedPattern(points[i].X, points[i].Y, points[i].Partition)
+		}
+	})
 }
 
 // uniformCoarsePartition is the first-step partition when no history or

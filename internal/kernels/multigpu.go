@@ -60,6 +60,18 @@ func (m *MultiGPU) SetObserver(o *obs.Observer) {
 	}
 }
 
+// SetHostWorkers implements HostParallel, forwarding the host worker
+// budget to every per-device kernel that supports it. The budget is per
+// kernel, not split across devices: device Steps already run concurrently,
+// so callers coordinating many devices on one host should pass a share.
+func (m *MultiGPU) SetHostWorkers(n int) {
+	for _, a := range m.Algos {
+		if hp, ok := a.(HostParallel); ok {
+			hp.SetHostWorkers(n)
+		}
+	}
+}
+
 // BandSplit splits ny rows into at most want contiguous bands of at least
 // two rows each (the grid minimum), sizes differing by at most one row.
 // It returns the [lo, hi) bounds in row order. Fewer than want bands come
@@ -141,6 +153,9 @@ func (m *MultiGPU) Step(p *retard.Problem, target *grid.Grid, comp int) *StepRes
 		agg.Host.Clustering += res.Host.Clustering
 		agg.Host.Predict += res.Host.Predict
 		agg.Host.Train += res.Host.Train
+		agg.Host.ClusteringAllocs += res.Host.ClusteringAllocs
+		agg.Host.PredictAllocs += res.Host.PredictAllocs
+		agg.Host.TrainAllocs += res.Host.TrainAllocs
 		agg.FallbackEntries += res.FallbackEntries
 		agg.Launches += res.Launches
 		agg.Fixed.Add(res.Fixed)

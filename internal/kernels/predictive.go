@@ -2,12 +2,13 @@ package kernels
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"beamdyn/internal/access"
 	"beamdyn/internal/gpusim"
 	"beamdyn/internal/grid"
+	"beamdyn/internal/hostpar"
 	"beamdyn/internal/ml/kmeans"
 	"beamdyn/internal/ml/knn"
 	"beamdyn/internal/ml/linreg"
@@ -23,9 +24,14 @@ import (
 type Predictor interface {
 	// Trained reports whether the model can predict.
 	Trained() bool
-	// Fit replaces the training set with (inputs, patterns).
+	// Fit replaces the training set with (inputs, patterns). Fit must not
+	// retain the row slices: the kernel reuses their backing arrays across
+	// steps.
 	Fit(x, y [][]float64)
-	// Predict writes the forecast pattern for input x into out.
+	// Predict writes the forecast pattern for input x into out. Predict
+	// must be safe for concurrent calls — the PREDICT phase queries the
+	// model from every host worker at once (both bundled predictors are
+	// pure reads after Fit).
 	Predict(x, out []float64)
 	// OutDim returns the trained pattern length (0 before Fit).
 	OutDim() int
@@ -148,16 +154,83 @@ type Predictive struct {
 	ThreadsPerBlock int
 	// PanelsPerSub seeds the bootstrap step before the model is trained.
 	PanelsPerSub int
+	// HostWorkers bounds the worker count of the host-side learning
+	// phases (PREDICT, RP-CLUSTERING, ONLINE-LEARNING); <= 0 means
+	// runtime.GOMAXPROCS. Every host loop partitions its index range
+	// statically and writes by index, so results are bitwise identical
+	// for any value (see internal/hostpar).
+	HostWorkers int
 
 	prevParts [][]float64
 	prevNX    int
 	prevNY    int
 	obs       *obs.Observer
 	errBuf    []float64
+	scratch   predScratch
+}
+
+// predScratch holds the kernel's step-lifetime buffers, all reused across
+// steps (hostpar.Resize / arena Reset) so steady-state host phases are
+// near-zero-alloc. Nothing in here is retained by StepResult.
+type predScratch struct {
+	workers  []predWorker
+	patBuf   []float64        // flat backing of the forecast patterns
+	patterns []access.Pattern // views into patBuf, one per point
+	parts    [][]float64      // per-point partitions (AdaptivePartition mode)
+	idx      []int            // identity indices; segments are sub-slices
+	jumps    []float64
+	mean     access.Pattern
+	scaled   access.Pattern // hoisted warp-boundary comparison buffer
+	groups   [][]int
+	blocks   [][]int
+	merged   [][]float64
+	bases    []uintptr
+	x, y     [][]float64 // training-matrix row views
+	featBuf  []float64   // flat backing of the training features
+}
+
+// predWorker is the scratch one worker owns during the parallel phases.
+// Workers process disjoint index ranges and the values written through
+// this state depend only on the point index, never on the worker, which
+// preserves the bitwise-determinism guarantee.
+type predWorker struct {
+	arena    hostpar.Arena[float64]
+	feat     []float64 // 2-element feature vector
+	buf      []float64 // raw model output
+	part     []float64 // partition append scratch
+	vals     []float64 // quantile scratch
+	qpat     access.Pattern
+	searcher *knn.Searcher
+}
+
+// setup sizes the per-worker scratch for a step: arenas rewind, buffers
+// resize to the subregion count, and each worker gets a reusable query
+// context over the kNN model (nil reg selects the generic Predict path).
+func (sc *predScratch) setup(workers, numSub int, reg *knn.Regressor) {
+	if len(sc.workers) < workers {
+		sc.workers = append(sc.workers, make([]predWorker, workers-len(sc.workers))...)
+	}
+	for w := 0; w < workers; w++ {
+		wk := &sc.workers[w]
+		wk.arena.Reset()
+		wk.feat = hostpar.Resize(wk.feat, 2)
+		wk.buf = hostpar.Resize(wk.buf, numSub)
+		if reg == nil {
+			wk.searcher = nil
+		} else if wk.searcher == nil || wk.searcher.For() != reg {
+			wk.searcher = reg.NewSearcher()
+		}
+	}
 }
 
 // SetObserver implements Observable.
 func (pr *Predictive) SetObserver(o *obs.Observer) { pr.obs = o }
+
+// SetHostWorkers implements HostParallel.
+func (pr *Predictive) SetHostWorkers(n int) { pr.HostWorkers = n }
+
+// hostWorkers resolves the worker count used by this step's host phases.
+func (pr *Predictive) hostWorkers() int { return hostpar.Workers(pr.HostWorkers) }
 
 // NewPredictive returns the kernel configured as in the paper: 4-NN
 // prediction, uniform partition transform, pattern clustering with
@@ -187,15 +260,19 @@ func (pr *Predictive) Reset() {
 
 // Step implements Algorithm: lines 1-25 of COMPUTE-POTENTIALS.
 func (pr *Predictive) Step(p *retard.Problem, target *grid.Grid, comp int) *StepResult {
-	points := buildPoints(p, target)
+	if pr.Pred == nil {
+		// A hand-constructed kernel gets the paper's default model rather
+		// than a nil-pointer crash at the ONLINE-LEARNING refit.
+		pr.Pred = NewKNNPredictor(4)
+	}
+	workers := pr.hostWorkers()
+	if hp, ok := pr.Pred.(HostParallel); ok {
+		hp.SetHostWorkers(workers)
+	}
+	points := buildPoints(p, target, workers)
 	res := &StepResult{}
 	if pr.prevNX != target.NX || pr.prevNY != target.NY {
 		pr.prevParts = nil
-	}
-	numSub := p.NumSub()
-	safety := pr.SafetyFactor
-	if safety == 0 {
-		safety = 1
 	}
 
 	// Lines 1-5: forecast each point's access pattern with g and convert
@@ -204,45 +281,21 @@ func (pr *Predictive) Step(p *retard.Problem, target *grid.Grid, comp int) *Step
 	// produces the first training set).
 	sp := pr.obs.Span("predictive/predict", target.Step)
 	t0 := time.Now()
-	patterns := make([]access.Pattern, len(points))
-	parts := make([][]float64, len(points))
-	trained := pr.Pred != nil && pr.Pred.Trained() && pr.Pred.OutDim() == numSub
-	buf := make([]float64, numSub)
-	// Model features are bunch-frame coordinates: the moment grid co-moves
-	// with the bunch, so positions relative to the grid centre are the
-	// stationary coordinates in which access patterns persist; lab-frame
-	// positions would shift by c*dt every step and turn every forecast
-	// into an extrapolation.
-	cx, cy := gridCenter(target)
-	for i := range points {
-		pt := &points[i]
-		pat := make(access.Pattern, numSub)
-		if trained {
-			pr.Pred.Predict([]float64{pt.X - cx, pt.Y - cy}, buf)
-			for j := range pat {
-				pat[j] = math.Max(buf[j]*safety, 0)
-			}
-		} else {
-			for j := range pat {
-				pat[j] = float64(pr.PanelsPerSub)
-			}
-		}
-		patterns[i] = pat
-		if pr.Mode == AdaptivePartition && pr.prevParts != nil && len(pr.prevParts[i]) >= 2 {
-			parts[i] = pat.AdaptivePartition(pr.prevParts[i], p.SubWidth(), pt.R)
-		} else {
-			parts[i] = pat.UniformPartition(p.SubWidth(), pt.R)
-		}
-	}
+	a0 := hostAllocCount()
+	patterns, parts, trained := pr.predictPhase(p, target, points, workers)
 	res.Host.Predict = time.Since(t0).Seconds()
-	sp.End(obs.I("points", len(points)), obs.Attr{Key: "trained", Value: trained})
+	res.Host.PredictAllocs = hostAllocCount() - a0
+	sp.End(obs.I("points", len(points)), obs.Attr{Key: "trained", Value: trained},
+		obs.HostWorkers(workers))
 
 	// Line 6: RP-CLUSTERING — group points by predicted access pattern.
 	sp = pr.obs.Span("predictive/cluster", target.Step)
 	t0 = time.Now()
-	blocks, merged, bases := pr.cluster(p, target, points, patterns, parts)
+	a0 = hostAllocCount()
+	blocks, merged, bases := pr.cluster(p, target, points, patterns, parts, workers)
 	res.Host.Clustering = time.Since(t0).Seconds()
-	sp.End(obs.I("blocks", len(blocks)))
+	res.Host.ClusteringAllocs = hostAllocCount() - a0
+	sp.End(obs.I("blocks", len(blocks)), obs.HostWorkers(workers))
 
 	// Lines 8-17: evaluate every point over its cluster's merged partition
 	// with one-to-one thread mapping and uniform control flow.
@@ -277,21 +330,17 @@ func (pr *Predictive) Step(p *retard.Problem, target *grid.Grid, comp int) *Step
 	res.Launches += launches
 	sp.End(obs.I("entries", len(entries)), obs.F("sim_sec", rm.Time))
 
-	finishPatterns(p, points)
-	storeResults(points, target, comp)
+	finishPatterns(p, points, workers)
+	storeResults(points, target, comp, workers)
 
 	// Line 25: ONLINE-LEARNING — refit g on the observed patterns.
 	sp = pr.obs.Span("predictive/train", target.Step)
 	t0 = time.Now()
-	x := make([][]float64, len(points))
-	y := make([][]float64, len(points))
-	for i := range points {
-		x[i] = []float64{points[i].X - cx, points[i].Y - cy}
-		y[i] = points[i].Pattern
-	}
-	pr.Pred.Fit(x, y)
+	a0 = hostAllocCount()
+	pr.trainPhase(points, target, workers)
 	res.Host.Train = time.Since(t0).Seconds()
-	sp.End()
+	res.Host.TrainAllocs = hostAllocCount() - a0
+	sp.End(obs.HostWorkers(workers))
 
 	// Predictor-quality sample: how far the forecast was from the patterns
 	// actually observed, and how much work leaked to the safety net.
@@ -309,13 +358,104 @@ func (pr *Predictive) Step(p *retard.Problem, target *grid.Grid, comp int) *Step
 		}, pr.errBuf)
 	}
 
-	pr.prevParts = make([][]float64, len(points))
-	for i := range points {
-		pr.prevParts[i] = points[i].Partition
-	}
+	pr.prevParts = hostpar.Resize(pr.prevParts, len(points))
+	hostpar.For(len(points), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pr.prevParts[i] = points[i].Partition
+		}
+	})
 	pr.prevNX, pr.prevNY = target.NX, target.NY
 	res.Points = points
 	return res
+}
+
+// predictPhase runs lines 1-5 of Algorithm 1 on the worker pool: forecast
+// each point's access pattern and, in AdaptivePartition mode, convert it
+// to a per-point partition (UniformPartition mode derives partitions per
+// cluster instead, so the per-point transform would be dead work).
+// Patterns are views into one flat reused backing; kNN queries go through
+// per-worker Searchers so the phase stays allocation-free once warm.
+func (pr *Predictive) predictPhase(p *retard.Problem, target *grid.Grid, points []Point, workers int) (patterns []access.Pattern, parts [][]float64, trained bool) {
+	sc := &pr.scratch
+	numSub := p.NumSub()
+	trained = pr.Pred.Trained() && pr.Pred.OutDim() == numSub
+	var reg *knn.Regressor
+	if kp, ok := pr.Pred.(KNNPredictor); ok && trained {
+		reg = kp.Regressor
+	}
+	sc.setup(workers, numSub, reg)
+	n := len(points)
+	sc.patBuf = hostpar.Resize(sc.patBuf, n*numSub)
+	patterns = hostpar.Resize(sc.patterns, n)
+	sc.patterns = patterns
+	adaptive := pr.Mode == AdaptivePartition
+	if adaptive {
+		parts = hostpar.Resize(sc.parts, n)
+		sc.parts = parts
+	}
+	safety := pr.SafetyFactor
+	if safety == 0 {
+		safety = 1
+	}
+	// Model features are bunch-frame coordinates: the moment grid co-moves
+	// with the bunch, so positions relative to the grid centre are the
+	// stationary coordinates in which access patterns persist; lab-frame
+	// positions would shift by c*dt every step and turn every forecast
+	// into an extrapolation.
+	cx, cy := gridCenter(target)
+	subW := p.SubWidth()
+	hostpar.For(n, workers, func(w, lo, hi int) {
+		wk := &sc.workers[w]
+		for i := lo; i < hi; i++ {
+			pt := &points[i]
+			pat := access.Pattern(sc.patBuf[i*numSub : (i+1)*numSub : (i+1)*numSub])
+			if trained {
+				wk.feat[0], wk.feat[1] = pt.X-cx, pt.Y-cy
+				if wk.searcher != nil {
+					wk.searcher.PredictWeighted(wk.feat, wk.buf)
+				} else {
+					pr.Pred.Predict(wk.feat, wk.buf)
+				}
+				for j := range pat {
+					pat[j] = math.Max(wk.buf[j]*safety, 0)
+				}
+			} else {
+				for j := range pat {
+					pat[j] = float64(pr.PanelsPerSub)
+				}
+			}
+			patterns[i] = pat
+			if adaptive {
+				if pr.prevParts != nil && len(pr.prevParts[i]) >= 2 {
+					parts[i] = pat.AdaptivePartition(pr.prevParts[i], subW, pt.R)
+				} else {
+					parts[i] = pat.UniformPartition(subW, pt.R)
+				}
+			}
+		}
+	})
+	return patterns, parts, trained
+}
+
+// trainPhase is line 25, ONLINE-LEARNING: refit g on the patterns observed
+// this step. The training matrix is two reused view slices over one flat
+// feature backing — safe because Predictor.Fit must not retain the rows.
+func (pr *Predictive) trainPhase(points []Point, target *grid.Grid, workers int) {
+	sc := &pr.scratch
+	n := len(points)
+	sc.featBuf = hostpar.Resize(sc.featBuf, 2*n)
+	sc.x = hostpar.Resize(sc.x, n)
+	sc.y = hostpar.Resize(sc.y, n)
+	cx, cy := gridCenter(target)
+	hostpar.For(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f := sc.featBuf[2*i : 2*i+2 : 2*i+2]
+			f[0], f[1] = points[i].X-cx, points[i].Y-cy
+			sc.x[i] = f
+			sc.y[i] = points[i].Pattern
+		}
+	})
+	pr.Pred.Fit(sc.x, sc.y)
 }
 
 // ForecastRowCosts implements CostForecaster: the learned access-pattern
@@ -323,35 +463,49 @@ func (pr *Predictive) Step(p *retard.Problem, target *grid.Grid, comp int) *Step
 // the integration work) of a grid point. Each row's cost samples a few
 // columns across it — the pattern field is smooth along a row, so a
 // sparse sample ranks rows as well as the full sweep at a fraction of the
-// prediction cost. Returns nil before the model has trained on a grid of
-// this subregion count.
+// prediction cost; rows split across the host worker pool. Returns nil
+// before the model has trained on a grid of this subregion count.
 func (pr *Predictive) ForecastRowCosts(p *retard.Problem, target *grid.Grid) []float64 {
 	numSub := p.NumSub()
 	if pr.Pred == nil || !pr.Pred.Trained() || pr.Pred.OutDim() != numSub {
 		return nil
 	}
+	workers := pr.hostWorkers()
+	var reg *knn.Regressor
+	if kp, ok := pr.Pred.(KNNPredictor); ok {
+		reg = kp.Regressor
+	}
+	sc := &pr.scratch
+	sc.setup(workers, numSub, reg)
 	cx, cy := gridCenter(target)
 	stride := target.NX / 16
 	if stride < 1 {
 		stride = 1
 	}
-	buf := make([]float64, numSub)
 	costs := make([]float64, target.NY)
-	for iy := 0; iy < target.NY; iy++ {
-		var sum float64
-		var n int
-		for ix := 0; ix < target.NX; ix += stride {
-			x, y := target.Point(ix, iy)
-			pr.Pred.Predict([]float64{x - cx, y - cy}, buf)
-			for _, v := range buf {
-				if v > 0 {
-					sum += v
+	hostpar.For(target.NY, workers, func(w, lo, hi int) {
+		wk := &sc.workers[w]
+		for iy := lo; iy < hi; iy++ {
+			var sum float64
+			var n int
+			for ix := 0; ix < target.NX; ix += stride {
+				x, y := target.Point(ix, iy)
+				wk.feat[0], wk.feat[1] = x-cx, y-cy
+				if wk.searcher != nil {
+					wk.searcher.PredictWeighted(wk.feat, wk.buf)
+				} else {
+					pr.Pred.Predict(wk.feat, wk.buf)
 				}
+				for _, v := range wk.buf {
+					if v > 0 {
+						sum += v
+					}
+				}
+				n++
 			}
-			n++
+			costs[iy] = sum / float64(n)
 		}
-		costs[iy] = sum / float64(n)
-	}
+	})
 	return costs
 }
 
@@ -366,8 +520,12 @@ func (pr *Predictive) threadsPerBlock() int {
 // (lines 6 and 9-12): it returns the thread blocks (point index lists),
 // the merged partition each block walks, and the partition's simulated
 // base address (shared by all threads of the block, so breakpoint loads
-// broadcast).
-func (pr *Predictive) cluster(p *retard.Problem, target *grid.Grid, points []Point, patterns []access.Pattern, parts [][]float64) (blocks [][]int, merged [][]float64, bases []uintptr) {
+// broadcast). Grouping and block splitting are serial (cheap, and order-
+// dependent); the per-block merged partitions build on the worker pool
+// into per-worker arenas, then base addresses are assigned in one serial
+// cursor pass so the address layout is independent of the worker count.
+func (pr *Predictive) cluster(p *retard.Problem, target *grid.Grid, points []Point, patterns []access.Pattern, parts [][]float64, workers int) (blocks [][]int, merged [][]float64, bases []uintptr) {
+	sc := &pr.scratch
 	var groups [][]int
 	switch pr.Clustering {
 	case ClusterSpatial:
@@ -384,49 +542,62 @@ func (pr *Predictive) cluster(p *retard.Problem, target *grid.Grid, points []Poi
 	if tp := pr.threadsPerBlock(); tp < maxTPB {
 		maxTPB = tp
 	}
-	var cursor uintptr
+	// "Each cluster is assigned to one or more thread blocks."
+	blocks = sc.blocks[:0]
 	for _, g := range groups {
-		if len(g) == 0 {
-			continue
-		}
-		// "Each cluster is assigned to one or more thread blocks."
 		for lo := 0; lo < len(g); lo += maxTPB {
 			hi := lo + maxTPB
 			if hi > len(g) {
 				hi = len(g)
 			}
-			blk := g[lo:hi]
+			blocks = append(blocks, g[lo:hi])
+		}
+	}
+	sc.blocks = blocks
+	merged = hostpar.Resize(sc.merged, len(blocks))
+	sc.merged = merged
+	bases = hostpar.Resize(sc.bases, len(blocks))
+	sc.bases = bases
+
+	q := pr.MergeQuantile
+	if q == 0 {
+		q = 0.9
+	}
+	numSub := p.NumSub()
+	subW := p.SubWidth()
+	hostpar.For(len(blocks), workers, func(w, lo, hi int) {
+		wk := &sc.workers[w]
+		for b := lo; b < hi; b++ {
+			blk := blocks[b]
+			if pr.Mode == AdaptivePartition {
+				// Aligned previous-step breakpoints merge exactly.
+				mp := parts[blk[0]]
+				for _, i := range blk[1:] {
+					mp = mergeClamped(mp, parts[i])
+				}
+				merged[b] = mp
+				continue
+			}
 			// Merged partition: the per-subregion quantile of the member
 			// patterns covers almost every member with a single breakpoint
 			// list (MERGE-LISTS' uniform-control-flow objective without the
 			// breakpoint-union blow-up of misaligned uniform partitions);
 			// the straggler tail is caught by the adaptive safety net.
-			q := pr.MergeQuantile
-			if q == 0 {
-				q = 0.9
-			}
-			mergedPat := quantilePattern(patterns, blk, p.NumSub(), q)
+			wk.qpat, wk.vals = quantilePatternInto(wk.qpat, wk.vals, patterns, blk, numSub, q)
 			maxR := 0.0
 			for _, i := range blk {
 				if points[i].R > maxR {
 					maxR = points[i].R
 				}
 			}
-			var mp []float64
-			if pr.Mode == AdaptivePartition {
-				// Aligned previous-step breakpoints merge exactly.
-				mp = parts[blk[0]]
-				for _, i := range blk[1:] {
-					mp = mergeClamped(mp, parts[i])
-				}
-			} else {
-				mp = mergedPat.UniformPartition(p.SubWidth(), maxR)
-			}
-			blocks = append(blocks, blk)
-			merged = append(merged, mp)
-			bases = append(bases, RegionParts+cursor)
-			cursor += uintptr(len(mp)) * 8
+			wk.part = wk.qpat.AppendUniformPartition(wk.part[:0], subW, maxR)
+			merged[b] = wk.arena.Copy(wk.part)
 		}
+	})
+	var cursor uintptr
+	for b := range blocks {
+		bases[b] = RegionParts + cursor
+		cursor += uintptr(len(merged[b])) * 8
 	}
 	return blocks, merged, bases
 }
@@ -441,8 +612,11 @@ func mergeClamped(a, b []float64) []float64 {
 // pattern jumps away from the cluster's running mean; cuts align to warp
 // boundaries so no warp mixes clusters or runs partially filled. The
 // result minimises within-cluster pattern distance (the k-means objective
-// of Algorithm 1) subject to warps staying contiguous in memory.
+// of Algorithm 1) subject to warps staying contiguous in memory. The walk
+// is serial (each cut depends on the previous one) but allocation-free:
+// groups are sub-slices of a reused identity index slice.
 func (pr *Predictive) segmentClusters(target *grid.Grid, patterns []access.Pattern) [][]int {
+	sc := &pr.scratch
 	n := len(patterns)
 	m := pr.Clusters
 	if m <= 0 {
@@ -467,62 +641,68 @@ func (pr *Predictive) segmentClusters(target *grid.Grid, patterns []access.Patte
 	if rem := capacity % warp; rem != 0 {
 		capacity += warp - rem
 	}
+	sc.idx = hostpar.Resize(sc.idx, n)
+	for i := range sc.idx {
+		sc.idx[i] = i
+	}
 	// Jump threshold: a multiple of the median consecutive-point pattern
 	// distance, so the cut criterion adapts to the pattern field's scale.
-	jumps := make([]float64, 0, n-1)
+	jumps := sc.jumps[:0]
 	for i := 1; i < n; i++ {
 		jumps = append(jumps, access.Distance2(patterns[i], patterns[i-1]))
 	}
-	sort.Float64s(jumps)
+	slices.Sort(jumps)
+	sc.jumps = jumps
 	var thresh float64
 	if len(jumps) > 0 {
 		thresh = 25 * (jumps[len(jumps)/2] + 1e-12) // 5x median distance, squared
 	}
 
-	var groups [][]int
-	cur := make([]int, 0, capacity)
-	mean := make(access.Pattern, 0)
-	flush := func() {
-		if len(cur) > 0 {
-			groups = append(groups, cur)
-			cur = make([]int, 0, capacity)
+	groups := sc.groups[:0]
+	mean := sc.mean[:0]
+	start := 0
+	flush := func(end int) {
+		if end > start {
+			groups = append(groups, sc.idx[start:end:end])
+			start = end
 			mean = mean[:0]
 		}
 	}
 	for i := 0; i < n; i++ {
-		if len(cur) == capacity {
-			flush()
+		if i-start == capacity {
+			flush(i)
 		}
-		if len(cur) > 0 && len(cur)%warp == 0 {
+		if i > start && (i-start)%warp == 0 {
 			// Warp boundary: eligible cut point on a pattern jump.
-			scaled := make(access.Pattern, len(mean))
-			inv := 1 / float64(len(cur))
+			scaled := hostpar.Resize(sc.scaled, len(mean))
+			sc.scaled = scaled
+			inv := 1 / float64(i-start)
 			for j := range mean {
 				scaled[j] = mean[j] * inv
 			}
 			if access.Distance2(patterns[i], scaled) > thresh {
-				flush()
+				flush(i)
 			}
 		}
-		cur = append(cur, i)
-		if len(mean) < len(patterns[i]) {
-			grown := make(access.Pattern, len(patterns[i]))
-			copy(grown, mean)
-			mean = grown
+		for len(mean) < len(patterns[i]) {
+			mean = append(mean, 0)
 		}
 		for j, v := range patterns[i] {
 			mean[j] += v
 		}
 	}
-	flush()
+	flush(n)
+	sc.groups = groups
+	sc.mean = mean
 	return groups
 }
 
-// quantilePattern returns, per subregion, the q-quantile of the member
-// patterns' counts.
-func quantilePattern(patterns []access.Pattern, members []int, numSub int, q float64) access.Pattern {
-	out := make(access.Pattern, numSub)
-	vals := make([]float64, len(members))
+// quantilePatternInto writes, per subregion, the q-quantile of the member
+// patterns' counts into dst, reusing dst and the vals scratch; it returns
+// both so callers keep the (possibly grown) backing arrays.
+func quantilePatternInto(dst access.Pattern, vals []float64, patterns []access.Pattern, members []int, numSub int, q float64) (access.Pattern, []float64) {
+	dst = hostpar.Resize(dst, numSub)
+	vals = hostpar.Resize(vals, len(members))
 	for j := 0; j < numSub; j++ {
 		for k, i := range members {
 			if j < len(patterns[i]) {
@@ -531,10 +711,17 @@ func quantilePattern(patterns []access.Pattern, members []int, numSub int, q flo
 				vals[k] = 0
 			}
 		}
-		sort.Float64s(vals)
+		slices.Sort(vals)
 		idx := int(q * float64(len(vals)-1))
-		out[j] = vals[idx]
+		dst[j] = vals[idx]
 	}
+	return dst, vals
+}
+
+// quantilePattern is the allocating convenience form of
+// quantilePatternInto.
+func quantilePattern(patterns []access.Pattern, members []int, numSub int, q float64) access.Pattern {
+	out, _ := quantilePatternInto(nil, nil, patterns, members, numSub, q)
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"beamdyn/internal/gpusim"
 	"beamdyn/internal/grid"
+	"beamdyn/internal/hostpar"
 	"beamdyn/internal/obs"
 	"beamdyn/internal/quadrature"
 	"beamdyn/internal/retard"
@@ -26,12 +27,17 @@ type TwoPhase struct {
 	ThreadsPerBlock int
 	// PanelsPerSub is the phase-1 panels per radial subregion (default 1).
 	PanelsPerSub int
+	// HostWorkers bounds the host-side worker count (<= 0: GOMAXPROCS).
+	HostWorkers int
 
 	obs *obs.Observer
 }
 
 // SetObserver implements Observable.
 func (t *TwoPhase) SetObserver(o *obs.Observer) { t.obs = o }
+
+// SetHostWorkers implements HostParallel.
+func (t *TwoPhase) SetHostWorkers(n int) { t.HostWorkers = n }
 
 // NewTwoPhase returns the kernel with the launch configuration of [9].
 func NewTwoPhase(dev *gpusim.Device) *TwoPhase {
@@ -47,7 +53,8 @@ func (t *TwoPhase) Reset() {}
 
 // Step implements Algorithm.
 func (t *TwoPhase) Step(p *retard.Problem, target *grid.Grid, comp int) *StepResult {
-	points := buildPoints(p, target)
+	workers := hostpar.Workers(t.HostWorkers)
+	points := buildPoints(p, target, workers)
 	res := &StepResult{}
 	spec := fixedPhaseSpec{
 		name:            "twophase/uniform",
@@ -73,8 +80,8 @@ func (t *TwoPhase) Step(p *retard.Problem, target *grid.Grid, comp int) *StepRes
 	res.Launches += launches
 	sp.End(obs.I("rounds", launches), obs.F("sim_sec", rm.Time))
 
-	finishPatterns(p, points)
-	storeResults(points, target, comp)
+	finishPatterns(p, points, workers)
+	storeResults(points, target, comp, workers)
 	// No forecast model: the sample still tracks the fallback series so
 	// kernels are comparable on the same dashboard.
 	if t.obs.PredictorEnabled() {

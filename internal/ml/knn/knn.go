@@ -6,12 +6,23 @@
 // k (online replace-training) and queried at step k+1 to forecast the
 // pattern at each grid point. Inputs are grid-point coordinates (x, y, t);
 // outputs are access-pattern vectors.
+//
+// The implementation is built for the kernel's hot loop: training data
+// lives in two flat backing arrays reused across Fit calls, the kd-tree is
+// a flat preorder index array (no per-node allocation, subtrees occupy
+// disjoint contiguous ranges so construction parallelises without
+// changing the result), and Searcher carries the per-query heap and
+// result buffers so steady-state forecasting allocates nothing. A fitted
+// Regressor is safe for concurrent queries; give each goroutine its own
+// Searcher.
 package knn
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
+
+	"beamdyn/internal/hostpar"
 )
 
 // Regressor is a kNN regressor. The zero value is unusable; construct with
@@ -21,19 +32,25 @@ type Regressor struct {
 	k      int
 	dim    int
 	outDim int
-	pts    []point
-	root   *node
-}
+	n      int
 
-type point struct {
-	x []float64
-	y []float64
-}
+	// xs and ys are the flat row-major training matrices (n*dim and
+	// n*outDim); both are reused across Fit calls.
+	xs, ys []float64
 
-type node struct {
-	idx         int // index into pts of the splitting point
-	axis        int
-	left, right *node
+	// tree is the kd-tree in subtree-contiguous preorder: tree[base] is
+	// the point index of the splitting node of a subtree of size s, its
+	// left child subtree (size s/2) occupies tree[base+1:], the right the
+	// remainder. Child positions and split axes (depth mod dim) are
+	// derived during descent, so one int32 per node is the whole tree.
+	tree []int32
+
+	// workers bounds the goroutines Fit uses to build the tree (0 means
+	// GOMAXPROCS). The tree is identical for every value.
+	workers int
+
+	// order is the build-time permutation scratch.
+	order []int32
 }
 
 // New returns a regressor averaging over the k nearest neighbours. k must
@@ -49,26 +66,37 @@ func New(k int) *Regressor {
 func (r *Regressor) K() int { return r.k }
 
 // Trained reports whether the regressor holds a training set.
-func (r *Regressor) Trained() bool { return r.root != nil }
+func (r *Regressor) Trained() bool { return r.n > 0 }
 
 // Len returns the number of training examples.
-func (r *Regressor) Len() int { return len(r.pts) }
+func (r *Regressor) Len() int { return r.n }
+
+// SetHostWorkers bounds the worker goroutines Fit uses to copy the
+// training set and build the kd-tree (values below 1 mean GOMAXPROCS).
+// The fitted model is bitwise identical for every value.
+func (r *Regressor) SetHostWorkers(workers int) { r.workers = workers }
+
+// parallelBuildCutoff is the subtree size below which Fit stops forking:
+// small subtrees sort faster than a goroutine handoff costs.
+const parallelBuildCutoff = 2048
 
 // Fit replaces the training set with the given examples and rebuilds the
 // kd-tree. X and Y must be the same length; all rows of X (and of Y) must
-// share a dimension. The slices are copied, so callers may reuse their
-// buffers.
+// share a dimension. The rows are copied into backing arrays reused
+// across calls, so callers may reuse their buffers and steady-state
+// refits allocate nothing.
 func (r *Regressor) Fit(x, y [][]float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("knn: %d inputs, %d outputs", len(x), len(y)))
 	}
 	if len(x) == 0 {
-		r.pts, r.root = nil, nil
+		r.n = 0
+		r.tree = r.tree[:0]
 		return
 	}
 	r.dim = len(x[0])
 	r.outDim = len(y[0])
-	r.pts = make([]point, len(x))
+	r.n = len(x)
 	for i := range x {
 		if len(x[i]) != r.dim {
 			panic("knn: ragged input matrix")
@@ -76,38 +104,116 @@ func (r *Regressor) Fit(x, y [][]float64) {
 		if len(y[i]) != r.outDim {
 			panic("knn: ragged output matrix")
 		}
-		xi := make([]float64, r.dim)
-		copy(xi, x[i])
-		yi := make([]float64, r.outDim)
-		copy(yi, y[i])
-		r.pts[i] = point{x: xi, y: yi}
 	}
-	order := make([]int, len(r.pts))
-	for i := range order {
-		order[i] = i
+	r.xs = hostpar.Resize(r.xs, r.n*r.dim)
+	r.ys = hostpar.Resize(r.ys, r.n*r.outDim)
+	r.order = hostpar.Resize(r.order, r.n)
+	r.tree = hostpar.Resize(r.tree, r.n)
+	workers := hostpar.Workers(r.workers)
+	hostpar.For(r.n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(r.xs[i*r.dim:(i+1)*r.dim], x[i])
+			copy(r.ys[i*r.outDim:(i+1)*r.outDim], y[i])
+			r.order[i] = int32(i)
+		}
+	})
+	// forkDepth bounds concurrent recursion to about one goroutine per
+	// worker; the subtree layout is position-determined, so forking does
+	// not change the tree.
+	forkDepth := 0
+	for 1<<forkDepth < workers {
+		forkDepth++
 	}
-	r.root = r.build(order, 0)
+	var wg sync.WaitGroup
+	r.build(r.order, 0, 0, forkDepth, &wg)
+	wg.Wait()
 }
 
-// build constructs a balanced kd-tree by median splitting.
-func (r *Regressor) build(order []int, depth int) *node {
-	if len(order) == 0 {
-		return nil
+// build writes the kd-tree of the points listed in order into
+// r.tree[base:base+len(order)] by median splitting. Subtrees occupy
+// disjoint ranges of both order and tree, so the recursion can fork
+// freely: fork levels spawn the left child on its own goroutine.
+func (r *Regressor) build(order []int32, base, depth, fork int, wg *sync.WaitGroup) {
+	for len(order) > 0 {
+		axis := depth % r.dim
+		mid := len(order) / 2
+		r.selectNth(order, axis, mid)
+		r.tree[base] = order[mid]
+		left, right := order[:mid], order[mid+1:]
+		if fork > 0 && len(order) >= parallelBuildCutoff {
+			wg.Add(1)
+			go func(o []int32, b, d, f int) {
+				defer wg.Done()
+				r.build(o, b, d, f, wg)
+			}(left, base+1, depth+1, fork-1)
+		} else {
+			r.build(left, base+1, depth+1, 0, wg)
+		}
+		// Tail recursion on the right child.
+		order, base, depth, fork = right, base+1+mid, depth+1, fork-1
+		if fork < 0 {
+			fork = 0
+		}
 	}
-	axis := depth % r.dim
-	sort.Slice(order, func(i, j int) bool {
-		return r.pts[order[i]].x[axis] < r.pts[order[j]].x[axis]
-	})
-	mid := len(order) / 2
-	n := &node{idx: order[mid], axis: axis}
-	n.left = r.build(order[:mid], depth+1)
-	n.right = r.build(order[mid+1:], depth+1)
-	return n
 }
+
+// selectNth partially orders order so that order[n] holds the element a
+// full sort by the axis coordinate would place there, every element
+// before it compares <= and every element after >= (the kd-tree split
+// invariant). Deterministic sequential quickselect with median-of-three
+// pivots — no allocation, unlike sort.Slice, which matters because build
+// selects once per tree node.
+func (r *Regressor) selectNth(order []int32, axis, n int) {
+	lo, hi := 0, len(order) // half-open
+	for hi-lo > 1 {
+		p := r.partition(order, lo, hi, axis)
+		switch {
+		case n < p:
+			hi = p
+		case n > p:
+			lo = p + 1
+		default:
+			return
+		}
+	}
+}
+
+// partition performs a Lomuto partition of order[lo:hi) around a
+// median-of-three pivot, returning the pivot's final position.
+func (r *Regressor) partition(order []int32, lo, hi, axis int) int {
+	xs, dim := r.xs, r.dim
+	mid := lo + (hi-lo)/2
+	if xs[int(order[mid])*dim+axis] < xs[int(order[lo])*dim+axis] {
+		order[mid], order[lo] = order[lo], order[mid]
+	}
+	if xs[int(order[hi-1])*dim+axis] < xs[int(order[lo])*dim+axis] {
+		order[hi-1], order[lo] = order[lo], order[hi-1]
+	}
+	if xs[int(order[hi-1])*dim+axis] < xs[int(order[mid])*dim+axis] {
+		order[hi-1], order[mid] = order[mid], order[hi-1]
+	}
+	order[mid], order[hi-1] = order[hi-1], order[mid]
+	pk := xs[int(order[hi-1])*dim+axis]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if xs[int(order[j])*dim+axis] < pk {
+			order[i], order[j] = order[j], order[i]
+			i++
+		}
+	}
+	order[i], order[hi-1] = order[hi-1], order[i]
+	return i
+}
+
+// x returns training input row i.
+func (r *Regressor) x(i int32) []float64 { return r.xs[int(i)*r.dim : (int(i)+1)*r.dim] }
+
+// y returns training output row i.
+func (r *Regressor) y(i int32) []float64 { return r.ys[int(i)*r.outDim : (int(i)+1)*r.outDim] }
 
 // neighbour is an entry of the bounded max-heap used during search.
 type neighbour struct {
-	idx int
+	idx int32
 	d2  float64
 }
 
@@ -162,67 +268,112 @@ func dist2(a, b []float64) float64 {
 	return d
 }
 
-// Neighbors returns the indices of the k nearest training points to x in
-// ascending distance order, and their squared distances.
-func (r *Regressor) Neighbors(x []float64) (idx []int, d2 []float64) {
-	if r.root == nil {
-		return nil, nil
-	}
+// Searcher carries the per-query scratch (neighbour heap, sorted result
+// buffers) of one querying goroutine. Queries through a Searcher allocate
+// nothing in steady state; the backing Regressor may be refitted between
+// queries. A Searcher is not safe for concurrent use — give each
+// goroutine its own.
+type Searcher struct {
+	r   *Regressor
+	h   maxHeap
+	res []neighbour
+	idx []int
+	d2  []float64
+}
+
+// NewSearcher returns a reusable query context over r.
+func (r *Regressor) NewSearcher() *Searcher { return &Searcher{r: r} }
+
+// For returns the Regressor this Searcher queries.
+func (s *Searcher) For() *Regressor { return s.r }
+
+// search collects the k nearest training points to x into s.h, sorted
+// ascending into s.res.
+func (s *Searcher) search(x []float64) {
+	r := s.r
 	if len(x) != r.dim {
 		panic(fmt.Sprintf("knn: query dim %d, trained dim %d", len(x), r.dim))
 	}
-	h := make(maxHeap, 0, r.k)
-	r.search(r.root, x, &h)
-	res := make([]neighbour, len(h))
-	copy(res, h)
-	sort.Slice(res, func(i, j int) bool { return res[i].d2 < res[j].d2 })
-	idx = make([]int, len(res))
-	d2 = make([]float64, len(res))
-	for i, n := range res {
-		idx[i] = n.idx
-		d2[i] = n.d2
+	s.h = s.h[:0]
+	s.descend(0, r.n, 0, x)
+	s.res = append(s.res[:0], s.h...)
+	// Insertion sort ascending by distance (k is small), ties broken by
+	// index so the ordering is canonical; sort.Slice would allocate on
+	// every query.
+	for i := 1; i < len(s.res); i++ {
+		n := s.res[i]
+		j := i - 1
+		for j >= 0 && (s.res[j].d2 > n.d2 || (s.res[j].d2 == n.d2 && s.res[j].idx > n.idx)) {
+			s.res[j+1] = s.res[j]
+			j--
+		}
+		s.res[j+1] = n
 	}
-	return idx, d2
 }
 
-func (r *Regressor) search(n *node, x []float64, h *maxHeap) {
-	if n == nil {
+// descend walks the subtree of size occupying r.tree[base:base+size].
+func (s *Searcher) descend(base, size, depth int, x []float64) {
+	if size <= 0 {
 		return
 	}
-	p := r.pts[n.idx]
-	h.push(neighbour{idx: n.idx, d2: dist2(x, p.x)}, r.k)
-	delta := x[n.axis] - p.x[n.axis]
-	near, far := n.left, n.right
+	r := s.r
+	mid := size / 2
+	pi := r.tree[base]
+	px := r.x(pi)
+	s.h.push(neighbour{idx: pi, d2: dist2(x, px)}, r.k)
+	axis := depth % r.dim
+	delta := x[axis] - px[axis]
+	// Subtree layout: left child at base+1 (size mid), right child at
+	// base+1+mid (size size-mid-1).
+	nearB, nearS, farB, farS := base+1, mid, base+1+mid, size-mid-1
 	if delta > 0 {
-		near, far = far, near
+		nearB, nearS, farB, farS = farB, farS, nearB, nearS
 	}
-	r.search(near, x, h)
-	if len(*h) < r.k || delta*delta < h.worst() {
-		r.search(far, x, h)
+	s.descend(nearB, nearS, depth+1, x)
+	if len(s.h) < r.k || delta*delta < s.h.worst() {
+		s.descend(farB, farS, depth+1, x)
 	}
 }
 
-// Predict writes the mean output of the k nearest neighbours of x into out,
-// which must have the trained output dimension. It panics when the model
-// has not been fitted; callers are expected to fall back to full adaptive
-// quadrature on the first step, as Algorithm 1 does.
-func (r *Regressor) Predict(x []float64, out []float64) {
-	if r.root == nil {
+// Neighbors returns the indices of the k nearest training points to x in
+// ascending distance order, and their squared distances. The returned
+// slices are owned by the Searcher and valid until its next query.
+func (s *Searcher) Neighbors(x []float64) (idx []int, d2 []float64) {
+	if !s.r.Trained() {
+		return nil, nil
+	}
+	s.search(x)
+	s.idx = hostpar.Resize(s.idx, len(s.res))
+	s.d2 = hostpar.Resize(s.d2, len(s.res))
+	for i, n := range s.res {
+		s.idx[i] = int(n.idx)
+		s.d2[i] = n.d2
+	}
+	return s.idx, s.d2
+}
+
+// Predict writes the mean output of the k nearest neighbours of x into
+// out, which must have the trained output dimension. It panics when the
+// model has not been fitted; callers are expected to fall back to full
+// adaptive quadrature on the first step, as Algorithm 1 does.
+func (s *Searcher) Predict(x, out []float64) {
+	r := s.r
+	if !r.Trained() {
 		panic("knn: Predict before Fit")
 	}
 	if len(out) != r.outDim {
 		panic(fmt.Sprintf("knn: out dim %d, trained %d", len(out), r.outDim))
 	}
-	idx, _ := r.Neighbors(x)
+	s.search(x)
 	for i := range out {
 		out[i] = 0
 	}
-	for _, j := range idx {
-		for c, v := range r.pts[j].y {
+	for _, n := range s.res {
+		for c, v := range r.y(n.idx) {
 			out[c] += v
 		}
 	}
-	inv := 1 / float64(len(idx))
+	inv := 1 / float64(len(s.res))
 	for i := range out {
 		out[i] *= inv
 	}
@@ -231,22 +382,23 @@ func (r *Regressor) Predict(x []float64, out []float64) {
 // PredictWeighted writes the inverse-distance-weighted mean of the k
 // nearest neighbours into out. Exact matches dominate through a small
 // distance floor, so a query at a training point reproduces its label.
-func (r *Regressor) PredictWeighted(x []float64, out []float64) {
-	if r.root == nil {
+func (s *Searcher) PredictWeighted(x, out []float64) {
+	r := s.r
+	if !r.Trained() {
 		panic("knn: PredictWeighted before Fit")
 	}
 	if len(out) != r.outDim {
 		panic(fmt.Sprintf("knn: out dim %d, trained %d", len(out), r.outDim))
 	}
-	idx, d2 := r.Neighbors(x)
+	s.search(x)
 	for i := range out {
 		out[i] = 0
 	}
 	var wsum float64
-	for i, j := range idx {
-		w := 1 / math.Sqrt(d2[i]+1e-24)
+	for _, n := range s.res {
+		w := 1 / math.Sqrt(n.d2+1e-24)
 		wsum += w
-		for c, v := range r.pts[j].y {
+		for c, v := range r.y(n.idx) {
 			out[c] += w * v
 		}
 	}
@@ -256,5 +408,38 @@ func (r *Regressor) PredictWeighted(x []float64, out []float64) {
 	}
 }
 
+// Neighbors returns the indices of the k nearest training points to x in
+// ascending distance order, and their squared distances. One-shot
+// convenience over a fresh Searcher; hot loops should hold a Searcher.
+func (r *Regressor) Neighbors(x []float64) (idx []int, d2 []float64) {
+	if !r.Trained() {
+		return nil, nil
+	}
+	s := Searcher{r: r}
+	i, d := s.Neighbors(x)
+	// The one-shot variant hands ownership to the caller.
+	return append([]int(nil), i...), append([]float64(nil), d...)
+}
+
+// Predict writes the mean output of the k nearest neighbours of x into
+// out. One-shot convenience over a fresh Searcher.
+func (r *Regressor) Predict(x, out []float64) {
+	s := Searcher{r: r}
+	s.Predict(x, out)
+}
+
+// PredictWeighted writes the inverse-distance-weighted mean of the k
+// nearest neighbours into out. One-shot convenience over a fresh
+// Searcher.
+func (r *Regressor) PredictWeighted(x, out []float64) {
+	s := Searcher{r: r}
+	s.PredictWeighted(x, out)
+}
+
 // OutDim returns the trained output dimension (0 before Fit).
-func (r *Regressor) OutDim() int { return r.outDim }
+func (r *Regressor) OutDim() int {
+	if r.n == 0 {
+		return 0
+	}
+	return r.outDim
+}

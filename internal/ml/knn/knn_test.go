@@ -199,3 +199,107 @@ func TestNeighborsPropertySortedDistances(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// A Searcher must reproduce the one-shot query results exactly while
+// reusing its buffers.
+func TestSearcherMatchesOneShot(t *testing.T) {
+	src := rng.New(11)
+	const n, k = 800, 5
+	x := make([][]float64, n)
+	y := make([][]float64, n)
+	for i := range x {
+		x[i] = []float64{src.Float64(), src.Float64()}
+		y[i] = []float64{src.Float64(), src.Float64() * 3}
+	}
+	r := New(k)
+	r.Fit(x, y)
+	s := r.NewSearcher()
+	if s.For() != r {
+		t.Fatal("Searcher.For")
+	}
+	out := make([]float64, 2)
+	sout := make([]float64, 2)
+	for q := 0; q < 100; q++ {
+		query := []float64{src.Float64(), src.Float64()}
+		idx, d2 := r.Neighbors(query)
+		sidx, sd2 := s.Neighbors(query)
+		if len(idx) != len(sidx) {
+			t.Fatalf("lengths differ: %d vs %d", len(idx), len(sidx))
+		}
+		for i := range idx {
+			if idx[i] != sidx[i] || d2[i] != sd2[i] {
+				t.Fatalf("neighbour %d differs: (%d,%g) vs (%d,%g)", i, idx[i], d2[i], sidx[i], sd2[i])
+			}
+		}
+		r.PredictWeighted(query, out)
+		s.PredictWeighted(query, sout)
+		if out[0] != sout[0] || out[1] != sout[1] {
+			t.Fatalf("weighted prediction differs: %v vs %v", out, sout)
+		}
+		r.Predict(query, out)
+		s.Predict(query, sout)
+		if out[0] != sout[0] || out[1] != sout[1] {
+			t.Fatalf("mean prediction differs: %v vs %v", out, sout)
+		}
+	}
+}
+
+// The kd-tree (and hence every query result) must be bitwise identical
+// for any Fit worker count — the determinism guarantee of the parallel
+// host pipeline.
+func TestParallelFitDeterministic(t *testing.T) {
+	src := rng.New(23)
+	const n = 6000 // above parallelBuildCutoff so forking really happens
+	x := make([][]float64, n)
+	y := make([][]float64, n)
+	for i := range x {
+		x[i] = []float64{src.Float64(), src.Float64()}
+		y[i] = []float64{src.Float64()}
+	}
+	ref := New(4)
+	ref.SetHostWorkers(1)
+	ref.Fit(x, y)
+	refTree := append([]int32(nil), ref.tree...)
+	for _, w := range []int{2, 3, 8} {
+		r := New(4)
+		r.SetHostWorkers(w)
+		r.Fit(x, y)
+		if len(r.tree) != len(refTree) {
+			t.Fatalf("workers=%d: tree size %d vs %d", w, len(r.tree), len(refTree))
+		}
+		for i := range refTree {
+			if r.tree[i] != refTree[i] {
+				t.Fatalf("workers=%d: tree node %d differs (%d vs %d)", w, i, r.tree[i], refTree[i])
+			}
+		}
+	}
+}
+
+// Steady-state refits and Searcher queries must not allocate: the
+// ONLINE-LEARNING and PREDICT stages run every simulation step.
+func TestSteadyStateAllocFree(t *testing.T) {
+	src := rng.New(31)
+	const n = 1024
+	x := make([][]float64, n)
+	y := make([][]float64, n)
+	for i := range x {
+		x[i] = []float64{src.Float64(), src.Float64()}
+		y[i] = []float64{src.Float64(), src.Float64()}
+	}
+	r := New(4)
+	r.SetHostWorkers(1)
+	r.Fit(x, y)
+	// A handful of fixed-size escapes (closure headers, WaitGroup) are
+	// tolerated; what must not happen is the seed's O(n) per-row copies
+	// and per-node tree allocations (~3n for this set).
+	if allocs := testing.AllocsPerRun(5, func() { r.Fit(x, y) }); allocs > 4 {
+		t.Errorf("steady-state Fit allocates %.1f per run", allocs)
+	}
+	s := r.NewSearcher()
+	out := make([]float64, 2)
+	q := []float64{0.5, 0.5}
+	s.PredictWeighted(q, out) // warm the buffers
+	if allocs := testing.AllocsPerRun(100, func() { s.PredictWeighted(q, out) }); allocs > 0 {
+		t.Errorf("steady-state Searcher query allocates %.1f per run", allocs)
+	}
+}

@@ -34,6 +34,12 @@ func I(k string, v int) Attr { return Attr{k, v} }
 // S makes a string attribute.
 func S(k, v string) Attr { return Attr{k, v} }
 
+// HostWorkers tags a span with the host-side worker count that executed
+// the phase (see internal/hostpar): the knob every kernel host loop is
+// parallelised over, recorded so traces can attribute host-phase wall
+// times to their concurrency level.
+func HostWorkers(n int) Attr { return Attr{"host_workers", n} }
+
 // Sink receives trace events. Implementations must be safe for concurrent
 // Emit calls.
 type Sink interface {
