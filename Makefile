@@ -1,10 +1,10 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race test-fleet-race bench-obs bench-host bench-json bench-json-ci
+.PHONY: ci fmt vet build test race test-fleet-race bench-obs bench-host bench-json bench-json-ci obs-gate
 
 # The full local CI gate: what a PR must pass.
-ci: fmt vet build race test-fleet-race bench-obs bench-host bench-json-ci
+ci: fmt vet build race test-fleet-race bench-obs bench-host bench-json-ci obs-gate
 
 # Formatting gate: fail (and list the offenders) if any file needs gofmt.
 fmt:
@@ -52,3 +52,14 @@ bench-json:
 bench-json-ci:
 	$(GO) run ./cmd/benchhost -grid 32 -steps 2 -warmup 1 -workers 1,2 \
 		-out /tmp/BENCH_host_ci.json
+
+# Perf regression gate: trace a short deterministic predictive run and
+# check its per-phase host costs against the committed BENCH_host.json
+# via obstool (exit 1 on regression). The run uses a 32x32 grid against
+# the baseline's 128x128 budgets, so the gate only trips on
+# order-of-magnitude hot-path regressions, never on machine noise.
+obs-gate:
+	$(GO) run ./cmd/beamsim -n 5000 -grid 32 -steps 3 -kernel predictive \
+		-seed 7 -trace /tmp/obs_gate_trace.jsonl > /dev/null
+	$(GO) run ./cmd/obstool gate BENCH_host.json /tmp/obs_gate_trace.jsonl \
+		-max-regress 10%

@@ -10,7 +10,12 @@
 // The -trace/-metrics/-obs-interval flags enable the telemetry layer (see
 // the Observability section of README.md): a JSONL span trace of every
 // loop stage and kernel sub-phase, an end-of-run metrics snapshot with the
-// per-step predictor-quality series, and a periodic one-line summary.
+// per-step predictor-quality series ("-metrics -" prints it to stdout),
+// and a periodic one-line summary. Adding "-http :8080" serves the live
+// telemetry over HTTP while the run advances: /metrics (Prometheus text
+// exposition), /snapshot.json, /healthz (step liveness + fleet device
+// states) and /debug/pprof. Traces feed the offline obstool analyzer
+// (summary, timeline, fleet, predictor, diff, gate).
 //
 // Multi-device runs: -devices N splits the grid statically (one band per
 // device); adding -fleet schedules bands dynamically through the fleet
@@ -32,6 +37,7 @@ import (
 	"beamdyn/internal/fleet"
 	"beamdyn/internal/gpusim"
 	"beamdyn/internal/obs"
+	"beamdyn/internal/obs/export"
 )
 
 func main() {
@@ -58,8 +64,10 @@ func main() {
 		inject    = flag.String("inject", "", "scripted fleet health events, e.g. \"fail:dev=1,step=9,after=2;slow:dev=2,step=8,factor=3,until=12\" (implies -fleet)")
 
 		traceOut    = flag.String("trace", "", "write a JSONL span/event trace to this file")
-		metricsOut  = flag.String("metrics", "", "write an end-of-run metrics snapshot (JSON) to this file")
+		metricsOut  = flag.String("metrics", "", "write an end-of-run metrics snapshot (JSON) to this file (\"-\" for stdout)")
 		obsInterval = flag.Int("obs-interval", 0, "print a predictor-quality summary every N steps (0 disables)")
+		httpAddr    = flag.String("http", "", "serve live telemetry on this address (e.g. :8080): /metrics, /snapshot.json, /healthz, /debug/pprof")
+		staleAfter  = flag.Duration("stale-after", 30*time.Second, "with -http, /healthz reports stalled (503) when no step completes within this window (0 disables)")
 	)
 	flag.Parse()
 
@@ -102,16 +110,15 @@ func main() {
 	var (
 		observer  *obs.Observer
 		traceSink *obs.JSONLSink
-		traceFile *os.File
 	)
-	if *traceOut != "" || *metricsOut != "" || *obsInterval > 0 || *fleetMode {
+	if *traceOut != "" || *metricsOut != "" || *obsInterval > 0 || *fleetMode || *httpAddr != "" {
 		observer = beamdyn.NewObserver()
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {
 				log.Fatal(err)
 			}
-			traceFile = f
+			// The sink owns the file: its Close flushes and closes it.
 			traceSink = obs.NewJSONLSink(f)
 			observer.Trace = obs.NewTracer(traceSink)
 		}
@@ -179,6 +186,31 @@ func main() {
 		sim.Algo = beamdyn.NewMultiGPUOn(ksel, *devices, newDevice)
 	default:
 		sim.Algo = beamdyn.NewKernelOn(ksel, newDevice(0))
+	}
+
+	if *httpAddr != "" {
+		srv := &export.Server{Obs: observer, StaleAfter: *staleAfter}
+		if fl != nil {
+			srv.Devices = func() []export.DeviceHealth {
+				hs := fl.Health()
+				out := make([]export.DeviceHealth, len(hs))
+				for i, h := range hs {
+					out[i] = export.DeviceHealth{
+						Device:      h.Label,
+						State:       h.State,
+						Slowdown:    h.Slowdown,
+						BusySec:     h.BusySec,
+						Utilization: h.Utilization,
+					}
+				}
+				return out
+			}
+		}
+		_, addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry: http://%s (/metrics /snapshot.json /healthz /debug/pprof/)\n", addr)
 	}
 
 	mode := ""
@@ -257,7 +289,11 @@ func main() {
 				s.Step, s.FallbackRate, s.ErrMean, s.ErrMax, len(observer.Pred.Samples()))
 		}
 	}
-	if *metricsOut != "" {
+	if *metricsOut == "-" {
+		if err := observer.WriteSnapshot(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	} else if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
 		if err != nil {
 			log.Fatal(err)
@@ -271,14 +307,10 @@ func main() {
 		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
 	}
 	if traceSink != nil {
-		if err := traceSink.Flush(); err != nil {
-			log.Fatal(err)
-		}
-		if err := observer.Trace.Err(); err != nil {
+		// Close flushes the buffer, closes the file and surfaces the first
+		// error hit anywhere along the run.
+		if err := traceSink.Close(); err != nil {
 			log.Fatalf("trace sink: %v", err)
-		}
-		if err := traceFile.Close(); err != nil {
-			log.Fatal(err)
 		}
 		fmt.Printf("trace written to %s\n", *traceOut)
 	}

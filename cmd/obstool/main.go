@@ -1,0 +1,239 @@
+// Command obstool analyzes the JSONL span traces beamsim -trace writes
+// and enforces the perf regression gate that keeps the committed
+// BENCH_host.json honest.
+//
+// Subcommands:
+//
+//	obstool summary trace.jsonl
+//	    Per-span aggregation: count, total, mean, p50/p95/p99 (histogram
+//	    quantile estimation over exponential duration buckets), max.
+//
+//	obstool timeline trace.jsonl
+//	    Per-step span timeline with proportional duration bars.
+//
+//	obstool fleet trace.jsonl
+//	    Fleet scheduler accounting: bands dispatched/stolen/retried and
+//	    per-device busy time, mean utilization and lifecycle states.
+//
+//	obstool predictor trace.jsonl [-spike-factor 3] [-min-rate 0.001]
+//	    Predictor-quality series with fallback-spike detection.
+//
+//	obstool diff old.jsonl new.jsonl [-max-regress 10%]
+//	    Compare two runs per span name. With -max-regress, exit 1 when
+//	    any shared span's mean regressed beyond the threshold.
+//
+//	obstool gate BENCH_host.json trace.jsonl [-max-regress 10%]
+//	    Check the trace's per-phase kernel host costs against the
+//	    committed baseline; exit 1 on regression. `make obs-gate` runs
+//	    this in CI on a short deterministic run.
+//
+// Exit codes: 0 ok, 1 regression detected, 2 usage or input error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"beamdyn/internal/obs/analysis"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: obstool <command> [flags] <args>
+
+commands:
+  summary   trace.jsonl                  per-span aggregation (count, mean, p50/p95/p99, max)
+  timeline  trace.jsonl                  per-step span timeline
+  fleet     trace.jsonl                  per-device utilization and steal/retry accounting
+  predictor trace.jsonl                  predictor quality series + fallback spike detection
+  diff      old.jsonl new.jsonl          compare two runs per span name
+  gate      BENCH_host.json trace.jsonl  enforce per-phase budgets (exit 1 on regression)
+
+"-" reads a trace from stdin. Run "obstool <command> -h" for flags.
+`)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "summary":
+		runSummary(args)
+	case "timeline":
+		runTimeline(args)
+	case "fleet":
+		runFleet(args)
+	case "predictor":
+		runPredictor(args)
+	case "diff":
+		runDiff(args)
+	case "gate":
+		runGate(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "obstool: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "obstool: %v\n", err)
+	os.Exit(2)
+}
+
+// parseRegress accepts "10%", "0.1" or "10" (percent implied when >= 1).
+func parseRegress(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad regression threshold %q (want e.g. 10%% or 0.1)", s)
+	}
+	if pct || v >= 1 {
+		v /= 100
+	}
+	return v, nil
+}
+
+func newFlagSet(name, positional string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: obstool %s [flags] %s\nflags:\n", name, positional)
+		fs.PrintDefaults()
+	}
+	return fs
+}
+
+// parseMixed parses the flag set allowing flags before or after the n
+// positional arguments (the stdlib flag package stops at the first
+// positional, which would reject "obstool gate base.json trace.jsonl
+// -max-regress 10%").
+func parseMixed(fs *flag.FlagSet, args []string, n int) []string {
+	var pos []string
+	for {
+		fs.Parse(args)
+		args = fs.Args()
+		if len(args) == 0 {
+			break
+		}
+		pos = append(pos, args[0])
+		args = args[1:]
+	}
+	if len(pos) != n {
+		fs.Usage()
+		os.Exit(2)
+	}
+	return pos
+}
+
+func runSummary(args []string) {
+	fs := newFlagSet("summary", "trace.jsonl")
+	path := parseMixed(fs, args, 1)[0]
+	events, err := analysis.ReadTraceFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(analysis.SummaryTable(analysis.Aggregate(events, nil)))
+}
+
+func runTimeline(args []string) {
+	fs := newFlagSet("timeline", "trace.jsonl")
+	path := parseMixed(fs, args, 1)[0]
+	events, err := analysis.ReadTraceFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(analysis.TimelineTable(analysis.Timeline(events)))
+}
+
+func runFleet(args []string) {
+	fs := newFlagSet("fleet", "trace.jsonl")
+	path := parseMixed(fs, args, 1)[0]
+	events, err := analysis.ReadTraceFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(analysis.FleetStats(events).Table())
+}
+
+func runPredictor(args []string) {
+	fs := newFlagSet("predictor", "trace.jsonl")
+	factor := fs.Float64("spike-factor", 3, "flag steps whose fallback rate exceeds this multiple of the run median")
+	minRate := fs.Float64("min-rate", 0.001, "absolute fallback-rate floor below which nothing is a spike")
+	path := parseMixed(fs, args, 1)[0]
+	events, err := analysis.ReadTraceFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	points := analysis.PredictorSeries(events)
+	spikes := analysis.FallbackSpikes(points, *factor, *minRate)
+	fmt.Print(analysis.PredictorTable(points, spikes))
+	if len(spikes) > 0 {
+		os.Exit(1)
+	}
+}
+
+func runDiff(args []string) {
+	fs := newFlagSet("diff", "old.jsonl new.jsonl")
+	maxRegress := fs.String("max-regress", "", "fail (exit 1) when any shared span's mean regresses beyond this (e.g. 10%)")
+	paths := parseMixed(fs, args, 2)
+	oldEvents, err := analysis.ReadTraceFile(paths[0])
+	if err != nil {
+		fatal(err)
+	}
+	newEvents, err := analysis.ReadTraceFile(paths[1])
+	if err != nil {
+		fatal(err)
+	}
+	rows := analysis.Diff(oldEvents, newEvents, nil)
+	fmt.Print(analysis.DiffTable(rows))
+	if *maxRegress != "" {
+		limit, err := parseRegress(*maxRegress)
+		if err != nil {
+			fatal(err)
+		}
+		if regs := analysis.Regressions(rows, limit); len(regs) > 0 {
+			fmt.Printf("\n%d span(s) regressed beyond %s:\n", len(regs), *maxRegress)
+			for _, r := range regs {
+				fmt.Printf("  %-28s mean %+.1f%% (%.3fms -> %.3fms)\n",
+					r.Name, 100*r.MeanDelta, r.OldMean*1e3, r.NewMean*1e3)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("\nno span regressed beyond %s\n", *maxRegress)
+	}
+}
+
+func runGate(args []string) {
+	fs := newFlagSet("gate", "BENCH_host.json trace.jsonl")
+	maxRegress := fs.String("max-regress", "10%", "per-phase budget headroom over the baseline")
+	paths := parseMixed(fs, args, 2)
+	base, err := analysis.ReadBaseline(paths[0])
+	if err != nil {
+		fatal(err)
+	}
+	events, err := analysis.ReadTraceFile(paths[1])
+	if err != nil {
+		fatal(err)
+	}
+	limit, err := parseRegress(*maxRegress)
+	if err != nil {
+		fatal(err)
+	}
+	results, err := analysis.Gate(base, analysis.Aggregate(events, nil), limit)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(analysis.GateTable(results))
+	if !analysis.GateOK(results) {
+		fmt.Println("\nperf regression gate FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("\nperf regression gate passed")
+}

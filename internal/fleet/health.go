@@ -1,0 +1,54 @@
+package fleet
+
+import "fmt"
+
+// DeviceHealth is one device's live health record: lifecycle state plus
+// the most recent step's load. It is the fleet half of the beamsim -http
+// /healthz endpoint (cmd/beamsim adapts it to the export package's
+// transport type) and is also what operators poll to decide whether a
+// degraded device should be drained.
+type DeviceHealth struct {
+	// Device is the device index in the manager's registry.
+	Device int `json:"device"`
+	// Label is the device's gpusim label ("dev0", ...).
+	Label string `json:"label"`
+	// State is the lifecycle state name ("healthy", "degraded",
+	// "draining", "failed").
+	State string `json:"state"`
+	// Slowdown is the manager's current simulated-time factor (1 for a
+	// healthy device).
+	Slowdown float64 `json:"slowdown"`
+	// BusySec is the device's simulated busy time during the last step,
+	// including doomed attempts.
+	BusySec float64 `json:"busy_sim_seconds"`
+	// Utilization is BusySec relative to the last step's busiest device
+	// (0 when the device sat idle or no step has run).
+	Utilization float64 `json:"utilization"`
+}
+
+// Health reports every managed device's lifecycle state and last-step
+// utilization. Safe to call concurrently with Step: states come from the
+// manager (safe for concurrent use) and the load figures from the last
+// completed step's stats.
+func (f *Fleet) Health() []DeviceHealth {
+	last := f.LastStats()
+	out := make([]DeviceHealth, f.mgr.NumDevices())
+	for d := range out {
+		label := f.mgr.Device(d).Label()
+		if label == "" {
+			label = fmt.Sprintf("dev%d", d)
+		}
+		h := DeviceHealth{
+			Device:   d,
+			Label:    label,
+			State:    f.mgr.State(d).String(),
+			Slowdown: f.mgr.Slowdown(d),
+		}
+		if d < len(last.Busy) {
+			h.BusySec = last.Busy[d]
+			h.Utilization = last.Utilization(d)
+		}
+		out[d] = h
+	}
+	return out
+}

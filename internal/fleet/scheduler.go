@@ -228,7 +228,7 @@ func (f *Fleet) Step(p *retard.Problem, target *grid.Grid, comp int) *kernels.St
 	f.mu.Lock()
 	f.last = Stats{Bands: len(tasks), Stolen: r.stolen, Retried: r.retried, Busy: busy}
 	f.mu.Unlock()
-	f.record(len(tasks), r.stolen, r.retried, busy)
+	f.record(target.Step, len(tasks), r.stolen, r.retried, busy)
 	sp.End(obs.I("bands", len(tasks)), obs.I("stolen", r.stolen),
 		obs.I("retried", r.retried), obs.F("sim_sec", agg.Metrics.Time))
 	return agg
@@ -451,37 +451,55 @@ func (f *Fleet) reassemble(target *grid.Grid, comp int, tasks []*bandTask, busy 
 	return agg
 }
 
-// record mirrors the step's fleet behaviour into the metrics registry.
-func (f *Fleet) record(bands, stolen, retried int, busy []float64) {
-	if f.obs == nil || f.obs.Reg == nil {
+// record mirrors the step's fleet behaviour into the metrics registry
+// and, when a trace sink is attached, emits one "fleet/device" event per
+// device so offline trace analysis (obstool fleet) can reconstruct
+// per-device utilization and state without the registry snapshot.
+func (f *Fleet) record(step, bands, stolen, retried int, busy []float64) {
+	if f.obs == nil {
 		return
 	}
-	reg := f.obs.Reg
-	reg.Counter("fleet_steps_total").Inc()
-	reg.Counter("fleet_bands_dispatched_total").Add(uint64(bands))
-	reg.Counter("fleet_bands_stolen_total").Add(uint64(stolen))
-	reg.Counter("fleet_bands_retried_total").Add(uint64(retried))
 	var maxBusy float64
 	for _, b := range busy {
 		if b > maxBusy {
 			maxBusy = b
 		}
 	}
-	for d := range busy {
-		lbl := obs.Label{Key: "device", Value: strconv.Itoa(d)}
-		reg.Gauge("fleet_device_busy_sim_seconds", lbl).Add(busy[d])
-		if maxBusy > 0 {
-			reg.Gauge("fleet_device_utilization", lbl).Set(busy[d] / maxBusy)
+	if reg := f.obs.Reg; reg != nil {
+		reg.Counter("fleet_steps_total").Inc()
+		reg.Counter("fleet_bands_dispatched_total").Add(uint64(bands))
+		reg.Counter("fleet_bands_stolen_total").Add(uint64(stolen))
+		reg.Counter("fleet_bands_retried_total").Add(uint64(retried))
+		for d := range busy {
+			lbl := obs.Label{Key: "device", Value: strconv.Itoa(d)}
+			reg.Gauge("fleet_device_busy_sim_seconds", lbl).Add(busy[d])
+			if maxBusy > 0 {
+				reg.Gauge("fleet_device_utilization", lbl).Set(busy[d] / maxBusy)
+			}
+			reg.Gauge("fleet_device_state", lbl).Set(float64(f.mgr.State(d)))
 		}
-		reg.Gauge("fleet_device_state", lbl).Set(float64(f.mgr.State(d)))
+		trans := f.mgr.Transitions()
+		for _, tr := range trans[f.seen:] {
+			reg.Counter("fleet_device_state_transitions_total",
+				obs.Label{Key: "device", Value: strconv.Itoa(tr.Device)},
+				obs.Label{Key: "to", Value: tr.To.String()}).Inc()
+		}
+		f.seen = len(trans)
 	}
-	trans := f.mgr.Transitions()
-	for _, tr := range trans[f.seen:] {
-		reg.Counter("fleet_device_state_transitions_total",
-			obs.Label{Key: "device", Value: strconv.Itoa(tr.Device)},
-			obs.Label{Key: "to", Value: tr.To.String()}).Inc()
+	if f.obs.TraceEnabled() {
+		for d := range busy {
+			util := 0.0
+			if maxBusy > 0 {
+				util = busy[d] / maxBusy
+			}
+			f.obs.Event("fleet/device", step,
+				obs.I("device", d),
+				obs.S("state", f.mgr.State(d).String()),
+				obs.F("slowdown", f.mgr.Slowdown(d)),
+				obs.F("busy_sim_sec", busy[d]),
+				obs.F("utilization", util))
+		}
 	}
-	f.seen = len(trans)
 }
 
 // bandGrid builds the [lo, hi) row-band view of target as a standalone

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"beamdyn/internal/obs"
+)
+
+// FleetDevice aggregates one device's behaviour over a traced run, from
+// the per-step "fleet/device" events the scheduler emits.
+type FleetDevice struct {
+	Device      int
+	BusySec     float64        // total simulated busy time
+	Utilization float64        // mean per-step utilization
+	Steps       int            // steps the device appears in
+	States      map[string]int // steps spent per lifecycle state
+	LastState   string
+}
+
+// FleetReport summarises a traced fleet run.
+type FleetReport struct {
+	// Steps is the number of fleet/step spans (scheduler rounds).
+	Steps int
+	// Bands, Stolen and Retried total the scheduler's accounting across
+	// the run, from the fleet/step span attributes.
+	Bands, Stolen, Retried int
+	// Devices is the per-device aggregation, ordered by device index.
+	Devices []FleetDevice
+}
+
+// FleetStats reconstructs the fleet scheduler's behaviour from a trace.
+// A trace without fleet events yields a zero report.
+func FleetStats(events []obs.Event) FleetReport {
+	var rep FleetReport
+	byDev := make(map[int]*FleetDevice)
+	for _, e := range events {
+		switch e.Name {
+		case "fleet/step":
+			if e.Kind != "span" {
+				continue
+			}
+			rep.Steps++
+			if v, ok := attrFloat(e, "bands"); ok {
+				rep.Bands += int(v)
+			}
+			if v, ok := attrFloat(e, "stolen"); ok {
+				rep.Stolen += int(v)
+			}
+			if v, ok := attrFloat(e, "retried"); ok {
+				rep.Retried += int(v)
+			}
+		case "fleet/device":
+			id, ok := attrFloat(e, "device")
+			if !ok {
+				continue
+			}
+			d := byDev[int(id)]
+			if d == nil {
+				d = &FleetDevice{Device: int(id), States: make(map[string]int)}
+				byDev[int(id)] = d
+			}
+			d.Steps++
+			if v, ok := attrFloat(e, "busy_sim_sec"); ok {
+				d.BusySec += v
+			}
+			if v, ok := attrFloat(e, "utilization"); ok {
+				d.Utilization += v
+			}
+			if s, ok := attrString(e, "state"); ok {
+				d.States[s]++
+				d.LastState = s
+			}
+		}
+	}
+	for _, d := range byDev {
+		if d.Steps > 0 {
+			d.Utilization /= float64(d.Steps)
+		}
+		rep.Devices = append(rep.Devices, *d)
+	}
+	sort.Slice(rep.Devices, func(i, j int) bool { return rep.Devices[i].Device < rep.Devices[j].Device })
+	return rep
+}
+
+// Table renders the report for the obstool fleet subcommand.
+func (r FleetReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: steps=%d bands=%d stolen=%d retried=%d\n",
+		r.Steps, r.Bands, r.Stolen, r.Retried)
+	if len(r.Devices) == 0 {
+		b.WriteString("no fleet/device events in trace (run beamsim with -fleet -trace)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-8s %12s %10s %-10s %s\n", "device", "busy_sim_s", "mean_util", "state", "states_seen")
+	for _, d := range r.Devices {
+		states := make([]string, 0, len(d.States))
+		for s, n := range d.States {
+			states = append(states, fmt.Sprintf("%s:%d", s, n))
+		}
+		sort.Strings(states)
+		fmt.Fprintf(&b, "dev%-5d %12.4f %9.0f%% %-10s %s\n",
+			d.Device, d.BusySec, 100*d.Utilization, d.LastState, strings.Join(states, " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline is the slice of BENCH_host.json the regression gate reads:
+// per kernel, the measured per-phase host costs at each worker count.
+type Baseline struct {
+	Benchmark string                   `json:"benchmark"`
+	Grid      int                      `json:"grid"`
+	Kernels   map[string][]PhaseBudget `json:"kernels"`
+}
+
+// PhaseBudget is one (kernel, workers) baseline measurement, ns/step.
+type PhaseBudget struct {
+	Workers   int     `json:"workers"`
+	PredictNs float64 `json:"predict_ns"`
+	ClusterNs float64 `json:"cluster_ns"`
+	TrainNs   float64 `json:"train_ns"`
+	HostNs    float64 `json:"host_ns"`
+}
+
+// ReadBaseline parses a BENCH_host.json file.
+func ReadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Kernels) == 0 {
+		return b, fmt.Errorf("%s: no kernels section — not a BENCH_host.json?", path)
+	}
+	return b, nil
+}
+
+// GateResult is one (kernel, phase) budget check.
+type GateResult struct {
+	Kernel   string
+	Phase    string
+	Count    int     // spans measured in the trace
+	MeanSec  float64 // trace mean
+	LimitSec float64 // budget: baseline x (1 + maxRegress)
+	OK       bool
+}
+
+// phaseNs maps a baseline entry's phase fields by the span suffix the
+// kernels emit (predictive/predict, predictive/cluster,
+// predictive/train).
+func phaseNs(b PhaseBudget) map[string]float64 {
+	return map[string]float64{
+		"predict": b.PredictNs,
+		"cluster": b.ClusterNs,
+		"train":   b.TrainNs,
+	}
+}
+
+// Gate checks a trace's per-phase mean host durations against the
+// baseline: for every kernel and phase with a nonzero baseline cost, the
+// trace's mean duration of span "<kernel>/<phase>" must stay within
+// baseline x (1 + maxRegress). The budget uses each phase's largest cost
+// across the baseline's worker counts (the serial entry), so the gate is
+// insensitive to which -host-workers the gated run used while still
+// catching order-of-magnitude hot-path regressions. Phases absent from
+// the trace are skipped; a trace with no gateable span at all returns an
+// error, because an empty gate passing would be meaningless.
+func Gate(base Baseline, stats []SpanStats, maxRegress float64) ([]GateResult, error) {
+	byName := make(map[string]SpanStats, len(stats))
+	for _, s := range stats {
+		byName[s.Name] = s
+	}
+	var out []GateResult
+	kernels := make([]string, 0, len(base.Kernels))
+	for k := range base.Kernels {
+		kernels = append(kernels, k)
+	}
+	sort.Strings(kernels)
+	for _, kernel := range kernels {
+		budget := map[string]float64{}
+		for _, entry := range base.Kernels[kernel] {
+			for phase, ns := range phaseNs(entry) {
+				if ns > budget[phase] {
+					budget[phase] = ns
+				}
+			}
+		}
+		phases := make([]string, 0, len(budget))
+		for p := range budget {
+			phases = append(phases, p)
+		}
+		sort.Strings(phases)
+		for _, phase := range phases {
+			ns := budget[phase]
+			if ns <= 0 {
+				continue // kernel without this host phase
+			}
+			st, ok := byName[kernel+"/"+phase]
+			if !ok || st.Count == 0 {
+				continue
+			}
+			limit := ns / 1e9 * (1 + maxRegress)
+			out = append(out, GateResult{
+				Kernel:   kernel,
+				Phase:    phase,
+				Count:    st.Count,
+				MeanSec:  st.Mean(),
+				LimitSec: limit,
+				OK:       st.Mean() <= limit,
+			})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("trace contains no span matching any baseline phase — nothing to gate")
+	}
+	return out, nil
+}
+
+// GateOK reports whether every check passed.
+func GateOK(results []GateResult) bool {
+	for _, r := range results {
+		if !r.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// GateTable renders the gate verdicts (milliseconds).
+func GateTable(results []GateResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-10s %7s %12s %12s  %s\n",
+		"kernel", "phase", "count", "mean_ms", "budget_ms", "verdict")
+	for _, r := range results {
+		verdict := "ok"
+		if !r.OK {
+			verdict = fmt.Sprintf("REGRESSED (%.1fx over budget)", r.MeanSec/r.LimitSec)
+		}
+		fmt.Fprintf(&b, "%-14s %-10s %7d %12.3f %12.3f  %s\n",
+			r.Kernel, r.Phase, r.Count, r.MeanSec*1e3, r.LimitSec*1e3, verdict)
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+// Package analysis is the offline half of the observability stack: it
+// reads the JSONL span traces the obs.Tracer emits and turns them into
+// per-kernel/per-phase aggregates (with histogram-quantile latency
+// estimates), step timelines, fleet per-device accounting, predictor
+// fallback-spike detection, cross-run diffs, and the perf regression
+// gate that make ci enforces against BENCH_host.json. cmd/obstool is the
+// CLI over this package.
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"beamdyn/internal/obs"
+)
+
+// ReadTrace parses a JSONL trace stream. Blank lines are skipped; a
+// malformed line fails the parse with its line number, because a trace
+// that lost lines mid-run (see JSONLSink.Close) should be noticed, not
+// silently half-analyzed.
+func ReadTrace(r io.Reader) ([]obs.Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	var out []obs.Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var e obs.Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace line %d: %w", line, err)
+	}
+	return out, nil
+}
+
+// ReadTraceFile reads a JSONL trace from path ("-" for stdin).
+func ReadTraceFile(path string) ([]obs.Event, error) {
+	if path == "-" {
+		return ReadTrace(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	evs, err := ReadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return evs, nil
+}
+
+// attrFloat reads a numeric attribute (JSON numbers decode as float64;
+// integers written through obs.I arrive that way too).
+func attrFloat(e obs.Event, key string) (float64, bool) {
+	v, ok := e.Attrs[key]
+	if !ok {
+		return 0, false
+	}
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case int:
+		return float64(n), true
+	}
+	return 0, false
+}
+
+// attrString reads a string attribute.
+func attrString(e obs.Event, key string) (string, bool) {
+	v, ok := e.Attrs[key]
+	if !ok {
+		return "", false
+	}
+	s, ok := v.(string)
+	return s, ok
+}

@@ -1,0 +1,184 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"beamdyn/internal/obs"
+)
+
+// DeviceHealth is one fleet device's state as reported by /healthz. The
+// fleet package produces the equivalent record; cmd/beamsim adapts it so
+// this package stays independent of the scheduler.
+type DeviceHealth struct {
+	Device      string  `json:"device"`
+	State       string  `json:"state"`
+	Slowdown    float64 `json:"slowdown,omitempty"`
+	BusySec     float64 `json:"busy_sim_seconds,omitempty"`
+	Utilization float64 `json:"utilization,omitempty"`
+}
+
+// HealthReport is the /healthz response body.
+type HealthReport struct {
+	// Status is "ok", "degraded" (devices failed or degraded but the run
+	// advances) or "stalled" (no step progress within StaleAfter; the
+	// only status served with HTTP 503).
+	Status string `json:"status"`
+	// Step is the simulation's current step (the sim_step gauge).
+	Step int `json:"step"`
+	// SecondsSinceAdvance is how long ago the step counter last moved,
+	// as observed across /healthz and /metrics requests.
+	SecondsSinceAdvance float64 `json:"seconds_since_advance"`
+	// Devices lists fleet device states when a fleet is attached.
+	Devices []DeviceHealth `json:"devices,omitempty"`
+}
+
+// Server serves one observer's telemetry over HTTP:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/snapshot.json  the full run snapshot (metrics + predictor series)
+//	/healthz        step liveness + fleet device states (503 when stalled)
+//	/debug/pprof/   the standard Go profiling handlers
+//
+// Every endpoint reads point-in-time snapshots, so scraping mid-step is
+// safe: the kernel hot path is never blocked beyond the registry's
+// snapshot lock. The zero Server serves empty documents.
+type Server struct {
+	// Obs is the observer being served; nil serves empty snapshots.
+	Obs *obs.Observer
+	// Devices optionally reports fleet device health (wired by beamsim
+	// from fleet.Fleet.Health when -fleet is active).
+	Devices func() []DeviceHealth
+	// StaleAfter is the step-liveness window: when > 0 and the step
+	// counter has not advanced for longer, /healthz reports "stalled"
+	// with HTTP 503. 0 disables the stall check (the probe still reports
+	// seconds_since_advance).
+	StaleAfter time.Duration
+
+	// now stubs the clock in tests; nil means time.Now.
+	now func() time.Time
+
+	mu       sync.Mutex
+	seen     bool
+	lastStep float64
+	lastMove time.Time
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot.json", s.handleSnapshot)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", s.handleIndex)
+	return mux
+}
+
+// Start listens on addr and serves in a background goroutine, returning
+// the bound address (useful with ":0") and a shutdown handle.
+func (s *Server) Start(addr string) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	return hs, ln.Addr(), nil
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, "beamdyn telemetry\n\n/metrics\n/snapshot.json\n/healthz\n/debug/pprof/\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var snap obs.Snapshot
+	if s.Obs != nil {
+		snap = s.Obs.Reg.Snapshot()
+	}
+	s.observeStep(snap)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheus(w, snap)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.Obs.WriteSnapshot(w); err != nil {
+		// Headers are gone; all we can do is cut the connection short.
+		return
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var snap obs.Snapshot
+	if s.Obs != nil {
+		snap = s.Obs.Reg.Snapshot()
+	}
+	step, since := s.observeStep(snap)
+	rep := HealthReport{
+		Status:              "ok",
+		Step:                int(step),
+		SecondsSinceAdvance: since.Seconds(),
+	}
+	if s.Devices != nil {
+		rep.Devices = s.Devices()
+		for _, d := range rep.Devices {
+			if d.State != "healthy" {
+				rep.Status = "degraded"
+				break
+			}
+		}
+	}
+	code := http.StatusOK
+	if s.StaleAfter > 0 && since > s.StaleAfter {
+		rep.Status = "stalled"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+}
+
+// observeStep tracks movement of the sim_step gauge across requests and
+// returns the current step plus the time since it last changed. The
+// clock only advances when something probes the server, which is exactly
+// the liveness contract: a scraper that polls sees staleness; a run with
+// no scraper pays nothing.
+func (s *Server) observeStep(snap obs.Snapshot) (float64, time.Duration) {
+	var step float64
+	for _, g := range snap.Gauges {
+		if g.Name == "sim_step" {
+			step = g.Value
+			break
+		}
+	}
+	now := time.Now
+	if s.now != nil {
+		now = s.now
+	}
+	t := now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.seen || step != s.lastStep {
+		s.seen = true
+		s.lastStep = step
+		s.lastMove = t
+	}
+	return step, t.Sub(s.lastMove)
+}

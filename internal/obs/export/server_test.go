@@ -1,0 +1,216 @@
+package export
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"beamdyn/internal/obs"
+)
+
+func testServer(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	o := obs.New()
+	o.Reg.Counter("sim_steps_total").Add(3)
+	o.Reg.Gauge("sim_step").Set(3)
+	ts := testServer(t, &Server{Obs: o})
+
+	code, body, hdr := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content-type = %q, want exposition format", ct)
+	}
+	if !strings.Contains(body, "sim_steps_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	lintPrometheus(t, body)
+}
+
+func TestMetricsScrapeMidStepIsSafe(t *testing.T) {
+	// Hammer the registry from writer goroutines while scraping: the
+	// race detector (make race) certifies the mid-step contract.
+	o := obs.New()
+	ts := testServer(t, &Server{Obs: o})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := o.Reg.Counter("sim_steps_total")
+			h := o.Reg.Histogram("stage_seconds", obs.StageSecondsBuckets, obs.Label{Key: "stage", Value: "advance"})
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(float64(i%100) * 1e-4)
+					o.Reg.Gauge("sim_step").Set(float64(i))
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 10; i++ {
+		code, body, _ := get(t, ts.URL+"/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("scrape %d: status %d", i, code)
+		}
+		lintPrometheus(t, body)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	o := obs.New()
+	o.Reg.Counter("sim_steps_total").Add(5)
+	o.RecordPredictor(obs.StepSample{Step: 4, Kernel: "Predictive-RP", Points: 16, FallbackEntries: 2}, []float64{0.1, 0.4})
+	ts := testServer(t, &Server{Obs: o})
+
+	code, body, hdr := get(t, ts.URL+"/snapshot.json")
+	if code != http.StatusOK {
+		t.Fatalf("GET /snapshot.json = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content-type = %q", ct)
+	}
+	var rs obs.RunSnapshot
+	if err := json.Unmarshal([]byte(body), &rs); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v", err)
+	}
+	if len(rs.Metrics.Counters) == 0 || len(rs.Predictor) != 1 {
+		t.Fatalf("snapshot content wrong: %+v", rs)
+	}
+	if rs.Predictor[0].FallbackRate != 0.125 {
+		t.Errorf("fallback rate = %g, want 0.125", rs.Predictor[0].FallbackRate)
+	}
+}
+
+func TestHealthzLiveness(t *testing.T) {
+	o := obs.New()
+	o.Reg.Gauge("sim_step").Set(1)
+	clock := time.Unix(1000, 0)
+	s := &Server{Obs: o, StaleAfter: 10 * time.Second,
+		now: func() time.Time { return clock }}
+	ts := testServer(t, s)
+
+	code, body, _ := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("initial healthz = %d: %s", code, body)
+	}
+	var rep HealthReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "ok" || rep.Step != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// Step advances, clock jumps past the window: still live, because
+	// the movement resets the timer.
+	clock = clock.Add(30 * time.Second)
+	o.Reg.Gauge("sim_step").Set(2)
+	if code, _, _ = get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("advancing run reported dead: %d", code)
+	}
+
+	// No movement past the window: stalled, 503.
+	clock = clock.Add(11 * time.Second)
+	code, body, _ = get(t, ts.URL+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("stalled run healthz = %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "stalled" || rep.SecondsSinceAdvance < 11 {
+		t.Fatalf("stalled report = %+v", rep)
+	}
+
+	// Progress revives it.
+	o.Reg.Gauge("sim_step").Set(3)
+	if code, _, _ = get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("revived run still dead: %d", code)
+	}
+}
+
+func TestHealthzFleetDevices(t *testing.T) {
+	o := obs.New()
+	s := &Server{Obs: o, Devices: func() []DeviceHealth {
+		return []DeviceHealth{
+			{Device: "dev0", State: "healthy", Utilization: 1},
+			{Device: "dev1", State: "failed"},
+		}
+	}}
+	ts := testServer(t, s)
+	code, body, _ := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("degraded fleet must stay 200 (run advances): %d", code)
+	}
+	var rep HealthReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "degraded" || len(rep.Devices) != 2 || rep.Devices[1].State != "failed" {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	ts := testServer(t, &Server{Obs: obs.New()})
+	code, body, _ := get(t, ts.URL+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: code=%d", code)
+	}
+}
+
+func TestZeroServerServesEmptyDocuments(t *testing.T) {
+	ts := testServer(t, &Server{})
+	if code, body, _ := get(t, ts.URL+"/metrics"); code != http.StatusOK || body != "" {
+		t.Fatalf("empty /metrics: code=%d body=%q", code, body)
+	}
+	if code, _, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("empty /healthz: code=%d", code)
+	}
+}
+
+func TestStartBindsEphemeralPort(t *testing.T) {
+	s := &Server{Obs: obs.New()}
+	hs, addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hs.Close()
+	code, _, _ := get(t, "http://"+addr.String()+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz over Start = %d", code)
+	}
+}

@@ -307,6 +307,52 @@ func (h HistogramSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]; q is clamped) of the
+// observed distribution by linear interpolation inside the bucket the
+// quantile rank falls into, assuming observations are spread uniformly
+// within each bucket — the same estimator Prometheus' histogram_quantile
+// uses. The first bucket's lower edge is taken as 0 (the bound is
+// returned unsplit when it is <= 0), and a rank landing in the +Inf
+// overflow bucket clips to the largest finite bound, since the overflow
+// bucket has no upper edge to interpolate toward. Returns NaN for an
+// empty histogram or one with no finite bounds.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return math.NaN()
+	}
+	switch {
+	case q < 0:
+		q = 0
+	case q > 1:
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, b := range h.Buckets {
+		prev := cum
+		cum += float64(b.Count)
+		if b.Count == 0 || cum < rank {
+			continue
+		}
+		if math.IsInf(b.UpperBound, 1) {
+			if i == 0 {
+				return math.NaN()
+			}
+			return h.Buckets[i-1].UpperBound
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Buckets[i-1].UpperBound
+		} else if b.UpperBound <= 0 {
+			return b.UpperBound
+		}
+		return lo + (b.UpperBound-lo)*(rank-prev)/float64(b.Count)
+	}
+	// Unreachable when counts are consistent; be defensive about a
+	// snapshot whose Count drifted from its bucket sum.
+	return math.NaN()
+}
+
 // Snapshot is a point-in-time copy of every series, sorted by series key
 // for stable output.
 type Snapshot struct {
@@ -366,8 +412,9 @@ func (s Snapshot) Table() string {
 		fmt.Fprintf(&b, "%-52s %14.6g\n", seriesLabel(g.Name, g.Labels), g.Value)
 	}
 	for _, h := range s.Histograms {
-		fmt.Fprintf(&b, "%-52s %7d obs, mean %.4g\n",
-			seriesLabel(h.Name, h.Labels), h.Count, h.Mean())
+		fmt.Fprintf(&b, "%-52s %7d obs, mean %.4g, p50 %.4g, p95 %.4g\n",
+			seriesLabel(h.Name, h.Labels), h.Count, h.Mean(),
+			h.Quantile(0.5), h.Quantile(0.95))
 	}
 	return b.String()
 }

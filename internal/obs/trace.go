@@ -103,31 +103,81 @@ func (t *Tracer) emit(name, kind string, step int, dur float64, attrs []Attr) {
 }
 
 // JSONLSink writes events as JSON Lines (one object per line) through a
-// buffered writer. Call Flush before closing the underlying writer.
+// buffered writer. Call Close when the run ends: it flushes the buffer,
+// closes the underlying writer when that writer is an io.Closer, and
+// returns the first error seen over the sink's whole lifetime — a failed
+// Emit mid-run (disk full, closed pipe) therefore cannot silently
+// truncate a trace, even though the tracer keeps the run alive.
 type JSONLSink struct {
 	mu  sync.Mutex
 	bw  *bufio.Writer
 	enc *json.Encoder
+	c   io.Closer
+	err error
 }
 
-// NewJSONLSink returns a sink writing JSONL to w.
+// NewJSONLSink returns a sink writing JSONL to w. If w is an io.Closer
+// (an *os.File, say), Close closes it too.
 func NewJSONLSink(w io.Writer) *JSONLSink {
 	bw := bufio.NewWriter(w)
-	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+	s := &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
 }
 
-// Emit implements Sink.
+// Emit implements Sink. After the first write error the sink goes dead
+// and every later Emit returns that same error without touching the
+// broken writer again.
 func (s *JSONLSink) Emit(e Event) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.enc.Encode(e)
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.enc.Encode(e); err != nil {
+		s.err = err
+		return err
+	}
+	return nil
 }
 
-// Flush drains the internal buffer to the underlying writer.
+// Flush drains the internal buffer to the underlying writer, returning
+// the sink's first error (a flush failure is sticky like an Emit one).
 func (s *JSONLSink) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.bw.Flush()
+	return s.flushLocked()
+}
+
+func (s *JSONLSink) flushLocked() error {
+	if err := s.bw.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Err returns the first write, flush or close error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close flushes the buffer, closes the underlying writer when it is an
+// io.Closer, and returns the sink's first error. Close is idempotent.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	if s.c != nil {
+		if err := s.c.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+		s.c = nil
+	}
+	return s.err
 }
 
 // MemorySink collects events in memory, mainly for tests and the

@@ -103,3 +103,100 @@ func TestMemorySink(t *testing.T) {
 		t.Fatalf("memory sink events wrong: %+v", evs)
 	}
 }
+
+// failAfterWriter accepts the first n bytes and then fails every write.
+type failAfterWriter struct {
+	n   int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, w.err
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// closeRecorder wraps a buffer and records whether Close ran.
+type closeRecorder struct {
+	bytes.Buffer
+	closed   bool
+	closeErr error
+}
+
+func (c *closeRecorder) Close() error {
+	c.closed = true
+	return c.closeErr
+}
+
+func TestJSONLSinkCloseFlushesAndClosesWriter(t *testing.T) {
+	w := &closeRecorder{}
+	sink := NewJSONLSink(w)
+	if err := sink.Emit(Event{Name: "a", Kind: "event"}); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing reached the writer yet: the sink buffers.
+	if w.Len() != 0 {
+		t.Fatalf("sink wrote %d bytes before Close", w.Len())
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.closed {
+		t.Fatal("Close did not close the underlying writer")
+	}
+	var e Event
+	if err := json.Unmarshal(bytes.TrimSpace(w.Bytes()), &e); err != nil || e.Name != "a" {
+		t.Fatalf("flushed line wrong (%v): %q", err, w.String())
+	}
+	// Idempotent: a second Close neither double-closes nor errors.
+	w.closed = false
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.closed {
+		t.Fatal("second Close closed the writer again")
+	}
+}
+
+func TestJSONLSinkSurfacesMidRunWriteError(t *testing.T) {
+	wantErr := errors.New("disk full")
+	sink := NewJSONLSink(&failAfterWriter{n: 16, err: wantErr})
+	// Fill past the bufio buffer so Emit hits the broken writer.
+	var firstErr error
+	for i := 0; i < 10000 && firstErr == nil; i++ {
+		firstErr = sink.Emit(Event{Name: "spanspanspan", Kind: "span", Step: i})
+	}
+	if !errors.Is(firstErr, wantErr) {
+		t.Fatalf("Emit error = %v, want %v", firstErr, wantErr)
+	}
+	// The sink is dead: later emits return the first error immediately.
+	if err := sink.Emit(Event{Name: "late"}); !errors.Is(err, wantErr) {
+		t.Fatalf("post-failure Emit = %v, want first error", err)
+	}
+	// Close surfaces it too, so end-of-run cleanup cannot miss it.
+	if err := sink.Close(); !errors.Is(err, wantErr) {
+		t.Fatalf("Close = %v, want first error", err)
+	}
+	if err := sink.Err(); !errors.Is(err, wantErr) {
+		t.Fatalf("Err = %v, want first error", err)
+	}
+}
+
+func TestJSONLSinkCloseSurfacesFlushError(t *testing.T) {
+	wantErr := errors.New("pipe closed")
+	sink := NewJSONLSink(&failAfterWriter{n: 0, err: wantErr})
+	if err := sink.Emit(Event{Name: "a"}); err != nil {
+		// Small event stays in the buffer; Emit must not fail yet.
+		t.Fatalf("buffered Emit failed early: %v", err)
+	}
+	if err := sink.Close(); !errors.Is(err, wantErr) {
+		t.Fatalf("Close = %v, want flush error %v", err, wantErr)
+	}
+}
