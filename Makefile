@@ -1,10 +1,10 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race test-fleet-race bench-obs bench-host bench-json bench-json-ci obs-gate
+.PHONY: ci fmt vet build test race test-fleet-race bench-obs bench-host bench-json bench-json-ci bench-rp bench-rp-json obs-gate
 
 # The full local CI gate: what a PR must pass.
-ci: fmt vet build race test-fleet-race bench-obs bench-host bench-json-ci obs-gate
+ci: fmt vet build race test-fleet-race bench-obs bench-host bench-json-ci bench-rp obs-gate
 
 # Formatting gate: fail (and list the offenders) if any file needs gofmt.
 fmt:
@@ -53,13 +53,31 @@ bench-json-ci:
 	$(GO) run ./cmd/benchhost -grid 32 -steps 2 -warmup 1 -workers 1,2 \
 		-out /tmp/BENCH_host_ci.json
 
-# Perf regression gate: trace a short deterministic predictive run and
-# check its per-phase host costs against the committed BENCH_host.json
-# via obstool (exit 1 on regression). The run uses a 32x32 grid against
-# the baseline's 128x128 budgets, so the gate only trips on
-# order-of-magnitude hot-path regressions, never on machine noise.
+# rp-integral core gate for CI: measure the evaluator against the
+# seed-equivalent closure baseline on a small grid with a throwaway
+# output file and enforce the speedup floor + zero-allocation contract.
+bench-rp:
+	$(GO) run ./cmd/benchrp -grid 48 -reps 5 -workers 1 -check \
+		-min-speedup 3 -out /tmp/bench_rp_ci.json
+
+# Refresh the committed BENCH_rp.json at the canonical 128x128 size.
+bench-rp-json:
+	$(GO) run ./cmd/benchrp -grid 128 -reps 3 -workers 1,2,4 \
+		-out BENCH_rp.json
+
+# Perf regression gate: trace short deterministic predictive and host
+# reference runs, then check them against the committed budgets —
+# BENCH_host.json (per-phase host costs) and BENCH_rp.json (reference
+# solver per-step cost) — via obstool (exit 1 on regression). The runs
+# use 32x32 grids against the baselines' 128x128 budgets, so the gate
+# only trips on order-of-magnitude hot-path regressions, never on
+# machine noise.
 obs-gate:
 	$(GO) run ./cmd/beamsim -n 5000 -grid 32 -steps 3 -kernel predictive \
 		-seed 7 -trace /tmp/obs_gate_trace.jsonl > /dev/null
-	$(GO) run ./cmd/obstool gate BENCH_host.json /tmp/obs_gate_trace.jsonl \
-		-max-regress 10%
+	$(GO) run ./cmd/beamsim -n 5000 -grid 32 -steps 3 -kernel reference \
+		-seed 7 -trace /tmp/obs_gate_ref_trace.jsonl > /dev/null
+	cat /tmp/obs_gate_trace.jsonl /tmp/obs_gate_ref_trace.jsonl \
+		> /tmp/obs_gate_all.jsonl
+	$(GO) run ./cmd/obstool gate BENCH_host.json BENCH_rp.json \
+		/tmp/obs_gate_all.jsonl -max-regress 10%

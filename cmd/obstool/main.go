@@ -22,10 +22,13 @@
 //	    Compare two runs per span name. With -max-regress, exit 1 when
 //	    any shared span's mean regressed beyond the threshold.
 //
-//	obstool gate BENCH_host.json trace.jsonl [-max-regress 10%]
-//	    Check the trace's per-phase kernel host costs against the
-//	    committed baseline; exit 1 on regression. `make obs-gate` runs
-//	    this in CI on a short deterministic run.
+//	obstool gate budget.json [budget.json ...] trace.jsonl [-max-regress 10%]
+//	    Check the trace against one or more committed budget files —
+//	    BENCH_host.json gates the kernels' per-phase host costs,
+//	    BENCH_rp.json gates the host reference solver's per-step cost —
+//	    and exit 1 on regression. Budget files are dispatched on their
+//	    "benchmark" tag. `make obs-gate` runs this in CI on short
+//	    deterministic runs.
 //
 // Exit codes: 0 ok, 1 regression detected, 2 usage or input error.
 package main
@@ -49,7 +52,8 @@ commands:
   fleet     trace.jsonl                  per-device utilization and steal/retry accounting
   predictor trace.jsonl                  predictor quality series + fallback spike detection
   diff      old.jsonl new.jsonl          compare two runs per span name
-  gate      BENCH_host.json trace.jsonl  enforce per-phase budgets (exit 1 on regression)
+  gate      budget.json [...] trace.jsonl  enforce perf budgets (exit 1 on regression);
+                                         budgets: BENCH_host.json and/or BENCH_rp.json
 
 "-" reads a trace from stdin. Run "obstool <command> -h" for flags.
 `)
@@ -115,21 +119,36 @@ func newFlagSet(name, positional string) *flag.FlagSet {
 // positional, which would reject "obstool gate base.json trace.jsonl
 // -max-regress 10%").
 func parseMixed(fs *flag.FlagSet, args []string, n int) []string {
-	var pos []string
-	for {
-		fs.Parse(args)
-		args = fs.Args()
-		if len(args) == 0 {
-			break
-		}
-		pos = append(pos, args[0])
-		args = args[1:]
-	}
+	pos := collectMixed(fs, args)
 	if len(pos) != n {
 		fs.Usage()
 		os.Exit(2)
 	}
 	return pos
+}
+
+// parseMixedAtLeast is parseMixed for commands with a variable positional
+// tail (gate takes one or more budget files before the trace).
+func parseMixedAtLeast(fs *flag.FlagSet, args []string, min int) []string {
+	pos := collectMixed(fs, args)
+	if len(pos) < min {
+		fs.Usage()
+		os.Exit(2)
+	}
+	return pos
+}
+
+func collectMixed(fs *flag.FlagSet, args []string) []string {
+	var pos []string
+	for {
+		fs.Parse(args)
+		args = fs.Args()
+		if len(args) == 0 {
+			return pos
+		}
+		pos = append(pos, args[0])
+		args = args[1:]
+	}
 }
 
 func runSummary(args []string) {
@@ -211,14 +230,11 @@ func runDiff(args []string) {
 }
 
 func runGate(args []string) {
-	fs := newFlagSet("gate", "BENCH_host.json trace.jsonl")
+	fs := newFlagSet("gate", "budget.json [budget.json ...] trace.jsonl")
 	maxRegress := fs.String("max-regress", "10%", "per-phase budget headroom over the baseline")
-	paths := parseMixed(fs, args, 2)
-	base, err := analysis.ReadBaseline(paths[0])
-	if err != nil {
-		fatal(err)
-	}
-	events, err := analysis.ReadTraceFile(paths[1])
+	paths := parseMixedAtLeast(fs, args, 2)
+	budgets, tracePath := paths[:len(paths)-1], paths[len(paths)-1]
+	events, err := analysis.ReadTraceFile(tracePath)
 	if err != nil {
 		fatal(err)
 	}
@@ -226,12 +242,36 @@ func runGate(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	results, err := analysis.Gate(base, analysis.Aggregate(events, nil), limit)
-	if err != nil {
-		fatal(err)
+	stats := analysis.Aggregate(events, nil)
+	var all []analysis.GateResult
+	for _, bp := range budgets {
+		kind, err := analysis.ProbeBenchmark(bp)
+		if err != nil {
+			fatal(err)
+		}
+		var results []analysis.GateResult
+		switch kind {
+		case analysis.RPBenchmarkName:
+			base, err := analysis.ReadRPBaseline(bp)
+			if err != nil {
+				fatal(err)
+			}
+			if results, err = analysis.GateRP(base, stats, limit); err != nil {
+				fatal(fmt.Errorf("%s: %w", bp, err))
+			}
+		default: // host-phases (legacy files carry no benchmark tag)
+			base, err := analysis.ReadBaseline(bp)
+			if err != nil {
+				fatal(err)
+			}
+			if results, err = analysis.Gate(base, stats, limit); err != nil {
+				fatal(fmt.Errorf("%s: %w", bp, err))
+			}
+		}
+		all = append(all, results...)
 	}
-	fmt.Print(analysis.GateTable(results))
-	if !analysis.GateOK(results) {
+	fmt.Print(analysis.GateTable(all))
+	if !analysis.GateOK(all) {
 		fmt.Println("\nperf regression gate FAILED")
 		os.Exit(1)
 	}

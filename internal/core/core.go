@@ -129,6 +129,11 @@ type Simulation struct {
 	// cx, cy track the exact bunch centre in continuum mode.
 	cx, cy  float64
 	dropped int
+
+	// solver is the persistent host reference solver used when Algo is
+	// nil; its per-worker evaluators and arenas are reused across steps,
+	// so steady-state reference steps allocate nothing per point.
+	solver retard.GridSolver
 }
 
 // New builds a simulation and samples the initial bunch.
@@ -228,7 +233,10 @@ func (s *Simulation) Advance() int {
 			}
 			s.Last = s.Algo.Step(prob, pot, 0)
 		} else {
-			prob.SolveGrid(pot, 0)
+			rsp := s.Obs.Span("reference/solve", step)
+			s.solver.Workers = s.Cfg.HostWorkers
+			s.solver.Solve(prob, pot, 0)
+			rsp.End(obs.I("points", pot.NX*pot.NY))
 			s.Last = nil
 		}
 		s.Potential = pot

@@ -20,6 +20,16 @@ type History struct {
 	// base simulated-device addresses, parallel to grids.
 	base     []uintptr
 	gridSize uintptr
+	// support caches per-(slot, component) charge bounding boxes;
+	// invalidated when Push replaces the slot's grid.
+	support [][]supportEntry
+	scans   int
+}
+
+// supportEntry caches one component's SupportBox for a resident grid.
+type supportEntry struct {
+	valid bool
+	box   Support
 }
 
 // NewHistory creates a history retaining the grids of the most recent
@@ -30,10 +40,11 @@ func NewHistory(capacity int) *History {
 		panic("grid: history capacity must be positive")
 	}
 	return &History{
-		cap:    capacity,
-		grids:  make([]*Grid, capacity),
-		base:   make([]uintptr, capacity),
-		latest: -1,
+		cap:     capacity,
+		grids:   make([]*Grid, capacity),
+		base:    make([]uintptr, capacity),
+		support: make([][]supportEntry, capacity),
+		latest:  -1,
 	}
 }
 
@@ -55,6 +66,9 @@ func (h *History) Push(g *Grid) {
 	}
 	slot := g.Step % h.cap
 	h.grids[slot] = g
+	for i := range h.support[slot] {
+		h.support[slot][i] = supportEntry{}
+	}
 	if h.gridSize == 0 {
 		// All grids in one simulation share a shape; carve the simulated
 		// address space into equal, 256-byte aligned extents per ring slot.
@@ -104,3 +118,32 @@ func (h *History) Address(step, ix, iy, c int) (uintptr, bool) {
 	slot := step % h.cap
 	return h.base[slot] + uintptr(g.Index(ix, iy, c))*8, true
 }
+
+// Support returns the charge bounding box of component comp of the grid at
+// step, scanning on first use and caching the result while the grid stays
+// resident. The same deposited grid serves up to kappa radial subregions
+// per rp-integral problem (and several problems when multiple kernels step
+// over one history), so the O(NX*NY) scan amortises to once per Push. A
+// non-resident step reports an empty support. Like Push, Support is not
+// safe for concurrent use.
+func (h *History) Support(step, comp int) Support {
+	g := h.At(step)
+	if g == nil {
+		return Support{Empty: true}
+	}
+	slot := step % h.cap
+	if len(h.support[slot]) < g.Comp {
+		h.support[slot] = make([]supportEntry, g.Comp)
+	}
+	e := &h.support[slot][comp]
+	if !e.valid {
+		e.box = g.SupportBox(comp)
+		e.valid = true
+		h.scans++
+	}
+	return e.box
+}
+
+// SupportScans returns the cumulative number of O(NX*NY) support scans
+// performed — instrumentation for the caching contract.
+func (h *History) SupportScans() int { return h.scans }

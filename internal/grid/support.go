@@ -1,0 +1,50 @@
+package grid
+
+import "math"
+
+// Support is the bounding box of the cells whose component magnitude
+// exceeds a tiny fraction of the grid maximum — the charge support the
+// rp-integral's angular-window geometry is built from. Empty reports that
+// no cell passed the threshold.
+type Support struct {
+	X0, Y0, X1, Y1 float64
+	Empty          bool
+}
+
+// SupportBox scans component comp for its charge bounding box. The scan is
+// O(NX*NY); History.Support caches the result per resident grid, so callers
+// that consult the support of the same grid repeatedly (retard.NewProblem
+// asks once per radial subregion) pay for the scan once per deposition.
+func (g *Grid) SupportBox(comp int) Support {
+	thresh := 1e-9 * g.MaxAbs(comp)
+	first := true
+	var b Support
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			v := math.Abs(g.At(ix, iy, comp))
+			if v <= thresh || v == 0 {
+				continue
+			}
+			x, y := g.Point(ix, iy)
+			if first {
+				b = Support{X0: x, Y0: y, X1: x, Y1: y}
+				first = false
+				continue
+			}
+			if x < b.X0 {
+				b.X0 = x
+			}
+			if x > b.X1 {
+				b.X1 = x
+			}
+			if y < b.Y0 {
+				b.Y0 = y
+			}
+			if y > b.Y1 {
+				b.Y1 = y
+			}
+		}
+	}
+	b.Empty = first
+	return b
+}

@@ -1,0 +1,72 @@
+package grid
+
+import "testing"
+
+func TestSupportBox(t *testing.T) {
+	g := New(16, 16, 1, 0, 0, 1, 1)
+	if s := g.SupportBox(0); !s.Empty {
+		t.Fatal("zero grid must have empty support")
+	}
+	g.Set(3, 5, 0, 1.0)
+	g.Set(9, 12, 0, -2.0)
+	g.Set(1, 1, 0, 1e-15) // below 1e-9 * MaxAbs: not support
+	s := g.SupportBox(0)
+	if s.Empty {
+		t.Fatal("support empty")
+	}
+	if s.X0 != 3 || s.Y0 != 5 || s.X1 != 9 || s.Y1 != 12 {
+		t.Fatalf("support box (%g,%g)-(%g,%g)", s.X0, s.Y0, s.X1, s.Y1)
+	}
+}
+
+func TestHistorySupportCachesScans(t *testing.T) {
+	h := NewHistory(4)
+	push := func(step int) {
+		g := New(8, 8, 2, 0, 0, 1, 1)
+		g.Step = step
+		g.Set(step%7, 4, 0, 1) // support depends on the step: staleness is visible
+		g.Set(2, 2, 1, 1)
+		h.Push(g)
+	}
+	for s := 0; s < 3; s++ {
+		push(s)
+	}
+	if h.SupportScans() != 0 {
+		t.Fatalf("scans before any Support call: %d", h.SupportScans())
+	}
+	// Repeated queries of the same (step, comp) scan exactly once.
+	for i := 0; i < 5; i++ {
+		if s := h.Support(2, 0); s.Empty || s.X0 != 2 {
+			t.Fatalf("Support(2,0) = %+v", s)
+		}
+	}
+	if h.SupportScans() != 1 {
+		t.Fatalf("scans after repeated Support(2,0): %d, want 1", h.SupportScans())
+	}
+	// A different component is a separate scan.
+	if s := h.Support(2, 1); s.Empty || s.X0 != 2 {
+		t.Fatalf("Support(2,1) = %+v", s)
+	}
+	h.Support(2, 1)
+	if h.SupportScans() != 2 {
+		t.Fatalf("scans after Support(2,1): %d, want 2", h.SupportScans())
+	}
+	// Non-resident steps don't scan.
+	if s := h.Support(17, 0); !s.Empty {
+		t.Fatal("non-resident step must report empty support")
+	}
+	if h.SupportScans() != 2 {
+		t.Fatalf("scans after non-resident query: %d", h.SupportScans())
+	}
+	// Push into the same ring slot invalidates the cached entry.
+	push(3)
+	push(4)
+	push(5)
+	push(6) // slot 6%4 == 2: evicts step 2, whose box is cached
+	if s := h.Support(6, 0); s.Empty || s.X0 != 6 {
+		t.Fatalf("Support(6,0) = %+v, want fresh scan of the new grid", s)
+	}
+	if h.SupportScans() != 3 {
+		t.Fatalf("scans after eviction+requery: %d, want 3", h.SupportScans())
+	}
+}

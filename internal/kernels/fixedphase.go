@@ -34,6 +34,7 @@ type fixedPhaseSpec struct {
 // whose Simpson error exceeded the per-panel tolerance (Listing 1's list L).
 func fixedPhase(dev *gpusim.Device, p *retard.Problem, points []Point, spec fixedPhaseSpec) (gpusim.Metrics, []workEntry) {
 	fails := make([][]workEntry, len(points))
+	pool := newIntegrandPool(dev, p)
 	m := dev.Run(gpusim.Launch{
 		Name:            spec.name,
 		Blocks:          len(spec.blocks),
@@ -51,7 +52,7 @@ func fixedPhase(dev *gpusim.Device, p *retard.Problem, points []Point, spec fixe
 			lane.Load(pointAddr(i, 2))
 			lane.Flops(4)
 			part, base := spec.partFor(i, block)
-			f := p.Integrand(pt.X, pt.Y, lane)
+			f := pool.bind(pt.X, pt.Y, lane, block)
 			// Each panel is accepted against the full tolerance tau,
 			// exactly as COMPUTE-RP-INTEGRAL in the paper's Listing 1
 			// compares the quadrature-rule error estimate against tau.

@@ -125,6 +125,48 @@ type HostParallel interface {
 // Overhead is the total host-side overhead.
 func (h HostTimes) Overhead() float64 { return h.Clustering + h.Predict + h.Train }
 
+// UseClosureIntegrand routes the kernels' integrand evaluations through
+// the original closure-based Problem.Integrand instead of the panel
+// evaluator pool. The two paths produce bitwise-identical results and
+// identical simulated-lane traces — the equivalence tests assert exactly
+// that — so the switch exists only for those tests and for A/B
+// benchmarks. Toggle while no kernel step is in flight.
+var UseClosureIntegrand bool
+
+// integrandPool hands each simulated SM a persistent panel evaluator.
+// gpusim runs one goroutine per SM with blocks assigned round-robin
+// (SM = block % NumSMs) and lane bodies within an SM run sequentially, so
+// indexing the pool by block modulo NumSMs is race-free.
+type integrandPool struct {
+	p     *retard.Problem
+	evals []*retard.Evaluator // nil when the closure path is selected
+}
+
+func newIntegrandPool(dev *gpusim.Device, p *retard.Problem) *integrandPool {
+	pool := &integrandPool{p: p}
+	if !UseClosureIntegrand {
+		pool.evals = make([]*retard.Evaluator, dev.Config().NumSMs)
+	}
+	return pool
+}
+
+// bind returns the outer radial integrand for the point (x, y), evaluated
+// on the block's SM-local evaluator (or by the closure path when that is
+// selected), recording loads and flops on lane.
+func (ip *integrandPool) bind(x, y float64, lane *gpusim.Lane, block int) quadrature.Func {
+	if ip.evals == nil {
+		return ip.p.Integrand(x, y, lane)
+	}
+	sm := block % len(ip.evals)
+	e := ip.evals[sm]
+	if e == nil {
+		e = retard.NewEvaluator(ip.p)
+		ip.evals[sm] = e
+	}
+	e.Bind(x, y, lane)
+	return e.Func()
+}
+
 // StepResult is the outcome of one compute-potentials step executed by a
 // kernel.
 type StepResult struct {
@@ -259,6 +301,7 @@ func adaptivePhase(dev *gpusim.Device, p *retard.Problem, points []Point, entrie
 	results := make([]adaptiveResult, len(entries))
 	maxDepth := p.MaxDepth
 	blocks := (len(entries) + threadsPerBlock - 1) / threadsPerBlock
+	pool := newIntegrandPool(dev, p)
 	m := dev.Run(gpusim.Launch{
 		Name:            name,
 		Blocks:          blocks,
@@ -276,7 +319,7 @@ func adaptivePhase(dev *gpusim.Device, p *retard.Problem, points []Point, entrie
 			lane.Load(pointAddr(e.pt, 0))
 			lane.Load(pointAddr(e.pt, 1))
 			lane.Flops(6)
-			f := p.Integrand(points[e.pt].X, points[e.pt].Y, lane)
+			f := pool.bind(points[e.pt].X, points[e.pt].Y, lane, block)
 			res := &results[idx]
 
 			// Memoized adaptive Simpson: each frame carries its endpoint

@@ -106,6 +106,7 @@ func (t *TwoPhase) refineRounds(p *retard.Problem, points []Point, entries []wor
 	var total gpusim.Metrics
 	launches := 0
 	tpb := t.ThreadsPerBlock
+	pool := newIntegrandPool(t.Dev, p)
 	for depth := 0; len(entries) > 0 && depth < p.MaxDepth; depth++ {
 		results := make([]adaptiveResult, len(entries))
 		es := entries
@@ -127,7 +128,7 @@ func (t *TwoPhase) refineRounds(p *retard.Problem, points []Point, entries []wor
 				lane.Load(pointAddr(e.pt, 0))
 				lane.Load(pointAddr(e.pt, 1))
 				lane.Flops(6)
-				f := p.Integrand(points[e.pt].X, points[e.pt].Y, lane)
+				f := pool.bind(points[e.pt].X, points[e.pt].Y, lane, block)
 				est := quadrature.SimpsonRule(f, e.a, e.b)
 				lane.Flops(14)
 				res := &results[idx]

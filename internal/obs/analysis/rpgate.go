@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// RPBenchmarkName is the "benchmark" tag cmd/benchrp writes into
+// BENCH_rp.json; the gate dispatches budget files on it.
+const RPBenchmarkName = "rp-core"
+
+// RPBaseline is the slice of BENCH_rp.json the regression gate reads: the
+// committed per-point costs of the host rp-integral evaluation core.
+type RPBaseline struct {
+	Benchmark           string  `json:"benchmark"`
+	Grid                int     `json:"grid"`
+	ClosureNsPerPoint   float64 `json:"closure_ns_per_point"`
+	EvaluatorNsPerPoint float64 `json:"evaluator_ns_per_point"`
+	SolveNsPerPoint     float64 `json:"solve_ns_per_point"`
+	MinSpeedup          float64 `json:"min_speedup"`
+}
+
+// ReadRPBaseline parses a BENCH_rp.json file.
+func ReadRPBaseline(path string) (RPBaseline, error) {
+	var b RPBaseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Benchmark != RPBenchmarkName {
+		return b, fmt.Errorf("%s: benchmark %q — not a BENCH_rp.json?", path, b.Benchmark)
+	}
+	if b.SolveNsPerPoint <= 0 || b.Grid <= 0 {
+		return b, fmt.Errorf("%s: missing solve_ns_per_point/grid", path)
+	}
+	return b, nil
+}
+
+// ProbeBenchmark returns the top-level "benchmark" field of a budget JSON
+// file, "" when the file has none (legacy BENCH_host.json files predate
+// the tag).
+func ProbeBenchmark(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var probe struct {
+		Benchmark string `json:"benchmark"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	return probe.Benchmark, nil
+}
+
+// GateRP checks the trace's "reference/solve" span mean against the
+// committed per-point solve cost scaled to the baseline's own grid
+// (solve_ns_per_point x grid^2). Like the host-phase gate, a trace
+// recorded on a smaller grid gates loosely against the baseline-size
+// budget: the gate trips on order-of-magnitude hot-path regressions, not
+// machine noise. A trace without the span returns an error — an empty
+// gate passing would be meaningless.
+func GateRP(base RPBaseline, stats []SpanStats, maxRegress float64) ([]GateResult, error) {
+	for _, s := range stats {
+		if s.Name != "reference/solve" || s.Count == 0 {
+			continue
+		}
+		limit := base.SolveNsPerPoint * float64(base.Grid) * float64(base.Grid) / 1e9 * (1 + maxRegress)
+		return []GateResult{{
+			Kernel:   "reference",
+			Phase:    "solve",
+			Count:    s.Count,
+			MeanSec:  s.Mean(),
+			LimitSec: limit,
+			OK:       s.Mean() <= limit,
+		}}, nil
+	}
+	return nil, fmt.Errorf("trace contains no reference/solve span — nothing to gate")
+}

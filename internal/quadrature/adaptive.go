@@ -1,0 +1,58 @@
+package quadrature
+
+import (
+	"fmt"
+	"math"
+)
+
+// asFrame is one pending interval of the explicit-stack adaptive Simpson.
+type asFrame struct {
+	a, b, tol float64
+	depth     int
+}
+
+// AdaptiveWorkspace holds the reusable interval stack of the iterative
+// adaptive Simpson algorithm, so steady-state integrations allocate
+// nothing once the stack has grown to the problem's refinement depth. The
+// zero value is ready to use. A workspace is not safe for concurrent use —
+// give each worker its own.
+type AdaptiveWorkspace struct {
+	stack []asFrame
+}
+
+// IntegrateInto integrates f over [a, b] exactly as AdaptiveSimpson does —
+// same estimates, same integrand-evaluation order, same panel partition,
+// bit for bit — but iteratively, the recursion replaced by the workspace's
+// explicit stack (children push right-then-left, so intervals pop in the
+// recursion's depth-first pre-order). Each accepted panel appends its
+// right breakpoint to part (the caller seeds the left endpoint), which is
+// returned alongside the estimate so callers can accumulate a whole
+// multi-subregion partition without intermediate slices.
+func (w *AdaptiveWorkspace) IntegrateInto(f Func, a, b, tol float64, maxDepth int, part []float64) (Estimate, []float64) {
+	if b < a || math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		panic(fmt.Sprintf("quadrature: invalid interval [%g, %g]", a, b))
+	}
+	var est Estimate
+	if a == b {
+		return est, append(part, b)
+	}
+	stack := append(w.stack[:0], asFrame{a: a, b: b, tol: tol})
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		e := SimpsonRule(f, fr.a, fr.b)
+		est.Evals += e.Evals
+		if e.Err <= fr.tol || fr.depth >= maxDepth {
+			est.I += e.I
+			est.Err += e.Err
+			part = append(part, fr.b)
+			continue
+		}
+		m := 0.5 * (fr.a + fr.b)
+		stack = append(stack,
+			asFrame{a: m, b: fr.b, tol: fr.tol / 2, depth: fr.depth + 1},
+			asFrame{a: fr.a, b: m, tol: fr.tol / 2, depth: fr.depth + 1})
+	}
+	w.stack = stack[:0]
+	return est, part
+}

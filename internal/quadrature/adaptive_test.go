@@ -1,0 +1,95 @@
+package quadrature
+
+import (
+	"math"
+	"testing"
+)
+
+// wiggly is an integrand adversarial enough to force uneven refinement:
+// a narrow peak plus oscillation, so the adaptive partition is deep on the
+// left and shallow on the right.
+func wiggly(x float64) float64 {
+	return 1/(1e-3+x*x) + math.Sin(40*x)
+}
+
+func TestIterativeAdaptiveSimpsonBitwiseIdentical(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		depth     int
+	}{
+		{0, 1, 1e-8, 30},
+		{-0.3, 2.7, 1e-6, 30},
+		{0, 4, 1e-10, 8}, // depth-limited: accepts over-tolerance panels
+		{1, 1, 1e-8, 30}, // empty interval
+	}
+	var ws AdaptiveWorkspace
+	for _, c := range cases {
+		want := AdaptiveSimpson(wiggly, c.a, c.b, c.tol, c.depth)
+		got, part := ws.IntegrateInto(wiggly, c.a, c.b, c.tol, c.depth, []float64{c.a})
+		if got.I != want.I || got.Err != want.Err || got.Evals != want.Evals {
+			t.Fatalf("[%g,%g] tol=%g: iterative (I=%v Err=%v Evals=%d) != recursive (I=%v Err=%v Evals=%d)",
+				c.a, c.b, c.tol, got.I, got.Err, got.Evals, want.I, want.Err, want.Evals)
+		}
+		if len(part) != len(want.Partition) {
+			t.Fatalf("[%g,%g]: partition length %d != %d", c.a, c.b, len(part), len(want.Partition))
+		}
+		for i := range part {
+			if part[i] != want.Partition[i] {
+				t.Fatalf("[%g,%g]: partition[%d] = %v != %v", c.a, c.b, i, part[i], want.Partition[i])
+			}
+		}
+	}
+}
+
+func TestIterativeAdaptiveSimpsonEvaluationOrder(t *testing.T) {
+	// The explicit stack must probe the integrand at exactly the same
+	// abscissae in exactly the same order as the recursion — stateful
+	// integrands (the panel evaluator's trig caches and lane accounting)
+	// rely on it.
+	record := func(log *[]float64) Func {
+		return func(x float64) float64 {
+			*log = append(*log, x)
+			return wiggly(x)
+		}
+	}
+	var recLog, iterLog []float64
+	AdaptiveSimpson(record(&recLog), 0, 2, 1e-7, 30)
+	var ws AdaptiveWorkspace
+	ws.IntegrateInto(record(&iterLog), 0, 2, 1e-7, 30, nil)
+	if len(recLog) != len(iterLog) {
+		t.Fatalf("evaluation count %d != %d", len(iterLog), len(recLog))
+	}
+	for i := range recLog {
+		if recLog[i] != iterLog[i] {
+			t.Fatalf("evaluation %d at %v, recursion at %v", i, iterLog[i], recLog[i])
+		}
+	}
+}
+
+func TestIterativeAdaptiveSimpsonReusesStack(t *testing.T) {
+	var ws AdaptiveWorkspace
+	part := make([]float64, 0, 4096)
+	ws.IntegrateInto(wiggly, 0, 1, 1e-8, 30, part[:0]) // grow the stack
+	allocs := testing.AllocsPerRun(50, func() {
+		ws.IntegrateInto(wiggly, 0, 1, 1e-8, 30, part[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state IntegrateInto allocates %.1f objects", allocs)
+	}
+}
+
+func TestAppendWeightsMatchesNewtonCotes(t *testing.T) {
+	for _, o := range []NewtonCotesOrder{Trapezoid, Simpson, Simpson38, Boole} {
+		w := o.AppendWeights(nil)
+		if len(w) != o.Points() {
+			t.Fatalf("order %d: %d weights, want %d", o, len(w), o.Points())
+		}
+		var sum float64
+		for _, v := range w {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-15 {
+			t.Fatalf("order %d: weights sum to %v", o, sum)
+		}
+	}
+}

@@ -48,15 +48,22 @@ func (o NewtonCotesOrder) Points() int {
 // weights returns the closed Newton-Cotes weights w such that
 // integral ≈ (b-a) * sum_i w_i f(x_i) with x_i equally spaced on [a, b].
 func (o NewtonCotesOrder) weights() []float64 {
+	return o.AppendWeights(nil)
+}
+
+// AppendWeights appends the rule's closed Newton-Cotes weights to dst and
+// returns it, for callers that hoist the weight table out of their inner
+// loop (NewtonCotes builds a fresh table on every call).
+func (o NewtonCotesOrder) AppendWeights(dst []float64) []float64 {
 	switch o {
 	case Trapezoid:
-		return []float64{0.5, 0.5}
+		return append(dst, 0.5, 0.5)
 	case Simpson:
-		return []float64{1.0 / 6, 4.0 / 6, 1.0 / 6}
+		return append(dst, 1.0/6, 4.0/6, 1.0/6)
 	case Simpson38:
-		return []float64{1.0 / 8, 3.0 / 8, 3.0 / 8, 1.0 / 8}
+		return append(dst, 1.0/8, 3.0/8, 3.0/8, 1.0/8)
 	case Boole:
-		return []float64{7.0 / 90, 32.0 / 90, 12.0 / 90, 32.0 / 90, 7.0 / 90}
+		return append(dst, 7.0/90, 32.0/90, 12.0/90, 32.0/90, 7.0/90)
 	}
 	panic("quadrature: unknown Newton-Cotes order")
 }

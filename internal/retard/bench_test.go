@@ -30,6 +30,40 @@ func BenchmarkIntegrandSample(b *testing.B) {
 	}
 }
 
+// BenchmarkSolvePointClosure measures the pre-refactor closure-based
+// evaluation path, kept as the equivalence reference.
+func BenchmarkSolvePointClosure(b *testing.B) {
+	h, _ := buildHistory(8, 64, testParams())
+	p := NewProblem(h, testParams())
+	g := h.At(7)
+	cx := g.X0 + float64(g.NX-1)*g.DX/2
+	cy := g.Y0 + float64(g.NY-1)*g.DY/2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SolvePointClosure(cx, cy)
+	}
+}
+
+// BenchmarkEvaluatorSolvePoint measures the allocation-free panel
+// evaluator in steady state (scratch reset per point, as the grid solver
+// does per batch).
+func BenchmarkEvaluatorSolvePoint(b *testing.B) {
+	h, _ := buildHistory(8, 64, testParams())
+	p := NewProblem(h, testParams())
+	g := h.At(7)
+	cx := g.X0 + float64(g.NX-1)*g.DX/2
+	cy := g.Y0 + float64(g.NY-1)*g.DY/2
+	e := NewEvaluator(p)
+	e.SolvePoint(cx, cy)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ResetScratch()
+		e.SolvePoint(cx, cy)
+	}
+}
+
 // BenchmarkSolveGrid measures the host reference solver over a small
 // potential grid.
 func BenchmarkSolveGrid(b *testing.B) {

@@ -20,8 +20,6 @@ package retard
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"beamdyn/internal/access"
 	"beamdyn/internal/gpusim"
@@ -84,7 +82,19 @@ type Problem struct {
 	r0      float64
 	// alphaLoads is the stencil loads per integrand sample (27).
 	alphaLoads int
+	// wmode selects the exp/log-free Weight fast path for the fixed CSR
+	// exponents (set once by NewProblem).
+	wmode weightMode
 }
+
+// weightMode selects how Weight evaluates the fixed radial exponent.
+type weightMode uint8
+
+const (
+	weightPow    weightMode = iota // math.Pow fallback, arbitrary exponent
+	weightCbrt                     // exponent 1/3: 1/cbrt(x)
+	weightCbrtSq                   // exponent 2/3: 1/cbrt(x)^2
+)
 
 type bbox struct {
 	x0, y0, x1, y1 float64
@@ -113,7 +123,16 @@ func NewProblem(hist *grid.History, params Params) *Problem {
 	p.r0 = 0.05 * p.subW // regularises the integrable kernel singularity at r=0
 	p.support = make([]bbox, p.maxSub())
 	for j := range p.support {
-		p.support[j] = chargeBBox(hist.At(step-j-1), params.Component)
+		s := hist.Support(step-j-1, params.Component)
+		p.support[j] = bbox{x0: s.X0, y0: s.Y0, x1: s.X1, y1: s.Y1, empty: s.Empty}
+	}
+	switch params.WeightExp {
+	case 1.0 / 3:
+		p.wmode = weightCbrt
+	case 2.0 / 3:
+		p.wmode = weightCbrtSq
+	default:
+		p.wmode = weightPow
 	}
 	return p
 }
@@ -138,45 +157,6 @@ func (p *Problem) NumSub() int { return len(p.support) }
 
 // SubWidth returns the radial subregion width c*Dt.
 func (p *Problem) SubWidth() float64 { return p.subW }
-
-// chargeBBox scans a grid for the bounding box of cells whose component
-// magnitude exceeds a tiny fraction of the grid maximum.
-func chargeBBox(g *grid.Grid, comp int) bbox {
-	if g == nil {
-		return bbox{empty: true}
-	}
-	thresh := 1e-9 * g.MaxAbs(comp)
-	first := true
-	var b bbox
-	for iy := 0; iy < g.NY; iy++ {
-		for ix := 0; ix < g.NX; ix++ {
-			v := math.Abs(g.At(ix, iy, comp))
-			if v <= thresh || v == 0 {
-				continue
-			}
-			x, y := g.Point(ix, iy)
-			if first {
-				b = bbox{x0: x, y0: y, x1: x, y1: y}
-				first = false
-				continue
-			}
-			if x < b.x0 {
-				b.x0 = x
-			}
-			if x > b.x1 {
-				b.x1 = x
-			}
-			if y < b.y0 {
-				b.y0 = y
-			}
-			if y > b.y1 {
-				b.y1 = y
-			}
-		}
-	}
-	b.empty = first
-	return b
-}
 
 // R returns the irregular integration limit R(p) for the point (x, y): the
 // end of the last subregion through which retarded charge is visible,
@@ -253,9 +233,21 @@ func (p *Problem) ThetaWindow(x, y, r float64, j int) (t0, t1 float64, ok bool) 
 	return center - half, center + half, true
 }
 
-// Weight returns the singular radial kernel w(r).
+// Weight returns the singular radial kernel w(r) =
+// ((r+r0)/cΔt)^(−WeightExp). The CSR exponents 1/3 and 2/3 take an
+// exp/log-free cube-root path; other exponents fall back to math.Pow.
+// Every evaluation path (closure and panel evaluator) shares this
+// function, so the fast path cannot split their results.
 func (p *Problem) Weight(r float64) float64 {
-	return math.Pow((r+p.r0)/p.subW, -p.WeightExp)
+	x := (r + p.r0) / p.subW
+	switch p.wmode {
+	case weightCbrt:
+		return 1 / math.Cbrt(x)
+	case weightCbrtSq:
+		c := math.Cbrt(x)
+		return 1 / (c * c)
+	}
+	return math.Pow(x, -p.WeightExp)
 }
 
 // subregionOf returns the subregion index containing radius r.
@@ -412,8 +404,19 @@ type PointResult struct {
 // SolvePoint evaluates the rp-integral at (x, y) with per-subregion
 // adaptive Simpson quadrature — the accuracy reference the predictive
 // kernels are validated against, and the source of observed access
-// patterns on the first simulation step.
+// patterns on the first simulation step. It runs on the allocation-free
+// panel evaluator; batch callers should hold an Evaluator (or GridSolver)
+// themselves instead of paying its construction per point.
 func (p *Problem) SolvePoint(x, y float64) PointResult {
+	return NewEvaluator(p).SolvePoint(x, y)
+}
+
+// SolvePointClosure is the original closure-based evaluation path:
+// Integrand over recursive AdaptiveSimpson, with fresh slices per point.
+// It is retained as the equivalence reference for the panel evaluator —
+// Evaluator.SolvePoint must reproduce it bit for bit — and as the baseline
+// of the cmd/benchrp speedup measurement.
+func (p *Problem) SolvePointClosure(x, y float64) PointResult {
 	f := p.Integrand(x, y, nil)
 	r := p.R(x, y)
 	n := p.NumSub()
@@ -436,32 +439,12 @@ func (p *Problem) SolvePoint(x, y float64) PointResult {
 
 // SolveGrid evaluates the rp-integral at every point of target in parallel
 // on the host and stores the result in component comp. It returns the
-// per-point results in row-major order.
+// per-point results in row-major order. Callers that step repeatedly
+// should hold a GridSolver instead, which keeps its per-worker evaluators
+// and result storage across steps.
 func (p *Problem) SolveGrid(target *grid.Grid, comp int) []PointResult {
-	results := make([]PointResult, target.NX*target.NY)
-	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	rows := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for iy := range rows {
-				for ix := 0; ix < target.NX; ix++ {
-					x, y := target.Point(ix, iy)
-					res := p.SolvePoint(x, y)
-					results[iy*target.NX+ix] = res
-					target.Set(ix, iy, comp, res.I)
-				}
-			}
-		}()
-	}
-	for iy := 0; iy < target.NY; iy++ {
-		rows <- iy
-	}
-	close(rows)
-	wg.Wait()
-	return results
+	var s GridSolver
+	return s.Solve(p, target, comp)
 }
 
 // String describes the problem briefly.
