@@ -1,10 +1,10 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race test-fleet-race bench-obs bench-host bench-json bench-json-ci bench-rp bench-rp-json obs-gate
+.PHONY: ci fmt vet build test race test-fleet-race test-alert-race bench-obs bench-host bench-json bench-json-ci bench-rp bench-rp-json obs-gate
 
 # The full local CI gate: what a PR must pass.
-ci: fmt vet build race test-fleet-race bench-obs bench-host bench-json-ci bench-rp obs-gate
+ci: fmt vet build race test-fleet-race test-alert-race bench-obs bench-host bench-json-ci bench-rp obs-gate
 
 # Formatting gate: fail (and list the offenders) if any file needs gofmt.
 fmt:
@@ -30,11 +30,29 @@ test-fleet-race:
 	$(GO) run ./cmd/beamsim -n 5000 -grid 32 -steps 2 -kernel twophase \
 		-devices 4 -inject "fail:dev=1,step=10,after=1"
 
+# Incident-layer race gate: the alert engine, flight recorder, bundle
+# writer and export server are all crossed by concurrent goroutines
+# (watchdogs, scrapers, the step loop), so race-check them directly, then
+# run a scripted-chaos pass with alerting and post-mortem dumping enabled
+# and triage the resulting bundle with obstool — the full incident chain,
+# end to end, on every PR.
+test-alert-race:
+	$(GO) test -race -count=1 ./internal/obs/...
+	rm -rf /tmp/beamdyn_pm
+	$(GO) run ./cmd/beamsim -n 5000 -grid 32 -steps 4 -kernel twophase \
+		-devices 2 -inject "fail:dev=1,step=9" \
+		-alerts "device_failed:for=1;steptime:mad=8" \
+		-flight-depth 1024 -postmortem-dir /tmp/beamdyn_pm
+	$(GO) run ./cmd/obstool postmortem /tmp/beamdyn_pm/postmortem-00-*
+
 # Telemetry-overhead check: the disabled path must stay within 5% of the
-# uninstrumented kernel step (compare the two Benchmark lines by hand, or
-# with benchstat when available).
+# uninstrumented kernel step, and the full incident layer (flight recorder
+# + default alert rules + invariant gauges) within 5% of the bare
+# simulation step (compare the Benchmark lines by hand, or with benchstat
+# when available).
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchtime 5x ./internal/kernels
+	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchtime 5x ./internal/core
 
 # Host-phase microbenchmark: predict/cluster/train ns per step and
 # allocations per step, per worker count (see internal/hostpar).

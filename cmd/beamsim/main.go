@@ -23,6 +23,16 @@
 // failure retry), and -inject scripts health events against it:
 //
 //	beamsim -devices 4 -fleet -inject "fail:dev=1,step=9,after=2" -steps 6
+//
+// The incident layer (see the Incidents & alerts section of README.md)
+// rides on the same observer: -alerts evaluates a per-step rule script
+// ("default" for the built-in set) over step time, predictor quality,
+// fleet health and the beam's physics invariants; -flight-depth sizes the
+// always-on flight recorder that retains the last N trace events even
+// when -trace is off; and -postmortem-dir makes critical alerts, stalls,
+// unrecovered device failures and run errors dump a self-contained
+// post-mortem bundle there (flight trace, metrics snapshot, alert log,
+// checkpoint, profiles) for offline triage with "obstool postmortem".
 package main
 
 import (
@@ -37,7 +47,10 @@ import (
 	"beamdyn/internal/fleet"
 	"beamdyn/internal/gpusim"
 	"beamdyn/internal/obs"
+	"beamdyn/internal/obs/alert"
+	"beamdyn/internal/obs/bundle"
 	"beamdyn/internal/obs/export"
+	"beamdyn/internal/obs/flight"
 )
 
 func main() {
@@ -66,8 +79,12 @@ func main() {
 		traceOut    = flag.String("trace", "", "write a JSONL span/event trace to this file")
 		metricsOut  = flag.String("metrics", "", "write an end-of-run metrics snapshot (JSON) to this file (\"-\" for stdout)")
 		obsInterval = flag.Int("obs-interval", 0, "print a predictor-quality summary every N steps (0 disables)")
-		httpAddr    = flag.String("http", "", "serve live telemetry on this address (e.g. :8080): /metrics, /snapshot.json, /healthz, /debug/pprof")
-		staleAfter  = flag.Duration("stale-after", 30*time.Second, "with -http, /healthz reports stalled (503) when no step completes within this window (0 disables)")
+		httpAddr    = flag.String("http", "", "serve live telemetry on this address (e.g. :8080): /metrics, /snapshot.json, /healthz, /alerts, /debug/pprof")
+		staleAfter  = flag.Duration("stale-after", 30*time.Second, "with -http, /healthz reports stalled (503) when no step completes within this window; with -postmortem-dir, the stall watchdog dumps a bundle after it (0 disables both)")
+
+		alerts        = flag.String("alerts", "", "per-step alert rules, e.g. \"fallback_rate>0.2:for=5;steptime:mad=6;device_failed\" (\"default\" for the built-in set; empty disables alerting)")
+		flightDepth   = flag.Int("flight-depth", flight.DefaultDepth, "flight recorder depth: retain the last N trace events in memory even when -trace is off (0 disables)")
+		postmortemDir = flag.String("postmortem-dir", "", "dump post-mortem bundles under this directory on critical alerts, stalls, unrecovered device failures and run errors")
 	)
 	flag.Parse()
 
@@ -110,8 +127,10 @@ func main() {
 	var (
 		observer  *obs.Observer
 		traceSink *obs.JSONLSink
+		flightRec *flight.Recorder
 	)
-	if *traceOut != "" || *metricsOut != "" || *obsInterval > 0 || *fleetMode || *httpAddr != "" {
+	if *traceOut != "" || *metricsOut != "" || *obsInterval > 0 || *fleetMode ||
+		*httpAddr != "" || *alerts != "" || *postmortemDir != "" {
 		observer = beamdyn.NewObserver()
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
@@ -120,9 +139,54 @@ func main() {
 			}
 			// The sink owns the file: its Close flushes and closes it.
 			traceSink = obs.NewJSONLSink(f)
-			observer.Trace = obs.NewTracer(traceSink)
+		}
+		// The flight recorder sits in front of the (optional) trace file:
+		// it retains the last -flight-depth events in memory so an incident
+		// bundle has a trace even when -trace was never given.
+		var fwd obs.Sink
+		if traceSink != nil {
+			fwd = traceSink
+		}
+		if *flightDepth > 0 {
+			flightRec = flight.New(*flightDepth, fwd)
+			observer.Trace = obs.NewTracer(flightRec)
+		} else if fwd != nil {
+			observer.Trace = obs.NewTracer(fwd)
 		}
 		sim.Obs = observer
+	}
+
+	// The bundle writer is assigned after the alert engine below; the
+	// OnAlert callback closes over the variable and only runs once stepping
+	// starts, so the late assignment is safe.
+	var bundleW *bundle.Writer
+
+	var engine *alert.Engine
+	if *alerts != "" {
+		spec := *alerts
+		if spec == "default" {
+			spec = alert.DefaultRules
+		}
+		rules, err := alert.ParseRules(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine = alert.NewEngine(alert.Config{
+			Rules: rules,
+			Obs:   observer,
+			OnAlert: func(a alert.Alert) {
+				log.Printf("ALERT %s", a.Message)
+				if bundleW != nil && a.Severity == alert.Critical.String() {
+					trigger := a
+					if dir, err := bundleW.Dump("alert", a.Step, &trigger); err != nil {
+						log.Printf("post-mortem: %v", err)
+					} else {
+						log.Printf("post-mortem bundle at %s", dir)
+					}
+				}
+			},
+		})
+		sim.Alerts = engine
 	}
 
 	var ksel beamdyn.Kernel
@@ -182,14 +246,25 @@ func main() {
 			Seed: *seed,
 		})
 		sim.Algo = fl
+		sim.DeviceCounts = fl.Counts
 	case *devices > 1:
 		sim.Algo = beamdyn.NewMultiGPUOn(ksel, *devices, newDevice)
 	default:
 		sim.Algo = beamdyn.NewKernelOn(ksel, newDevice(0))
 	}
 
+	if *postmortemDir != "" {
+		bundleW = bundle.NewWriter(bundle.Config{
+			Dir:        *postmortemDir,
+			Obs:        observer,
+			Flight:     flightRec,
+			Alerts:     engine,
+			Checkpoint: sim.Save,
+		})
+	}
+
 	if *httpAddr != "" {
-		srv := &export.Server{Obs: observer, StaleAfter: *staleAfter}
+		srv := &export.Server{Obs: observer, Alerts: engine, StaleAfter: *staleAfter}
 		if fl != nil {
 			srv.Devices = func() []export.DeviceHealth {
 				hs := fl.Health()
@@ -210,7 +285,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("telemetry: http://%s (/metrics /snapshot.json /healthz /debug/pprof/)\n", addr)
+		fmt.Printf("telemetry: http://%s (/metrics /snapshot.json /healthz /alerts /debug/pprof/)\n", addr)
+	}
+
+	// Stall watchdog: when a bundle directory is wired, a stuck step dumps
+	// a live bundle (no checkpoint — the stuck step owns the simulation
+	// state) so the incident is preserved even if the process then hangs
+	// forever or is killed.
+	var watchStop chan struct{}
+	if bundleW != nil && observer != nil && *staleAfter > 0 {
+		watchStop = make(chan struct{})
+		go watchStall(observer, bundleW, *staleAfter, watchStop)
 	}
 
 	mode := ""
@@ -221,40 +306,60 @@ func main() {
 	}
 	fmt.Printf("beamdyn simulation: N=%d grid=%dx%d kappa=%d tol=%g kernel=%s%s\n",
 		sim.Cfg.Beam.NumParticles, sim.Cfg.NX, sim.Cfg.NY, sim.Cfg.Kappa, sim.Cfg.Tol, *kernel, mode)
-	t0 := time.Now()
-	sim.Warmup()
-	fmt.Printf("warm-up (history filled through step %d): %.2fs\n",
-		sim.Step, time.Since(t0).Seconds())
+	// The warm-up and step loop run under the run-error guard: a panic
+	// anywhere inside dumps a post-mortem bundle and flushes the trace file
+	// before propagating, so a crashed run still leaves its evidence.
+	runGuarded(bundleW, sim, traceSink, func() {
+		t0 := time.Now()
+		sim.Warmup()
+		fmt.Printf("warm-up (history filled through step %d): %.2fs\n",
+			sim.Step, time.Since(t0).Seconds())
 
-	for i := 0; i < *steps; i++ {
-		t0 = time.Now()
-		step := sim.Advance()
-		wall := time.Since(t0).Seconds()
-		st := sim.Ensemble.Stats()
-		if sim.Last != nil {
-			m := sim.Last.Metrics
-			fmt.Printf("step %3d: gpu=%.4gs gflops=%.0f wee=%.1f%% gle=%.1f%% l1=%.1f%% fallback=%d host=%.3fs wall=%.2fs sigma=(%.3g, %.3g)\n",
-				step, m.Time, m.Gflops(),
-				100*m.WarpExecutionEfficiency(), 100*m.GlobalLoadEfficiency(),
-				100*m.L1HitRate(), sim.Last.FallbackEntries,
-				sim.Last.Host.Overhead(), wall, st.SigmaX, st.SigmaY)
-		} else {
-			fmt.Printf("step %3d: host reference, wall=%.2fs sigma=(%.3g, %.3g)\n",
-				step, wall, st.SigmaX, st.SigmaY)
-		}
-		if *diag && sim.Ensemble.Len() > 0 {
-			sum := diagnostics.Analyze(sim.Ensemble)
-			fmt.Printf("          %s\n", sum)
-			yprof := diagnostics.Project(sim.Ensemble, diagnostics.AxisY,
-				sum.MeanY-5*sum.SigmaY, sum.MeanY+5*sum.SigmaY, 48)
-			fmt.Printf("          |%s|\n", yprof.Sparkline())
-		}
-		if observer != nil && *obsInterval > 0 && (i+1)%*obsInterval == 0 {
-			if s, ok := observer.Pred.Last(); ok {
-				fmt.Printf("          obs: kernel=%s trained=%t fallback-rate=%.4f err(mean/p90/max)=%.3g/%.3g/%.3g train=%.3gs\n",
-					s.Kernel, s.Trained, s.FallbackRate, s.ErrMean, s.ErrP90, s.ErrMax, s.TrainSec)
+		for i := 0; i < *steps; i++ {
+			t0 = time.Now()
+			step := sim.Advance()
+			wall := time.Since(t0).Seconds()
+			st := sim.Ensemble.Stats()
+			if sim.Last != nil {
+				m := sim.Last.Metrics
+				fmt.Printf("step %3d: gpu=%.4gs gflops=%.0f wee=%.1f%% gle=%.1f%% l1=%.1f%% fallback=%d host=%.3fs wall=%.2fs sigma=(%.3g, %.3g)\n",
+					step, m.Time, m.Gflops(),
+					100*m.WarpExecutionEfficiency(), 100*m.GlobalLoadEfficiency(),
+					100*m.L1HitRate(), sim.Last.FallbackEntries,
+					sim.Last.Host.Overhead(), wall, st.SigmaX, st.SigmaY)
+			} else {
+				fmt.Printf("step %3d: host reference, wall=%.2fs sigma=(%.3g, %.3g)\n",
+					step, wall, st.SigmaX, st.SigmaY)
 			}
-			observer.Event("obs/interval", step, obs.I("interval", *obsInterval))
+			if *diag && sim.Ensemble.Len() > 0 {
+				sum := diagnostics.Analyze(sim.Ensemble)
+				fmt.Printf("          %s\n", sum)
+				yprof := diagnostics.Project(sim.Ensemble, diagnostics.AxisY,
+					sum.MeanY-5*sum.SigmaY, sum.MeanY+5*sum.SigmaY, 48)
+				fmt.Printf("          |%s|\n", yprof.Sparkline())
+			}
+			if observer != nil && *obsInterval > 0 && (i+1)%*obsInterval == 0 {
+				if s, ok := observer.Pred.Last(); ok {
+					fmt.Printf("          obs: kernel=%s trained=%t fallback-rate=%.4f err(mean/p90/max)=%.3g/%.3g/%.3g train=%.3gs\n",
+						s.Kernel, s.Trained, s.FallbackRate, s.ErrMean, s.ErrP90, s.ErrMax, s.TrainSec)
+				}
+				observer.Event("obs/interval", step, obs.I("interval", *obsInterval))
+			}
+		}
+	})
+	if watchStop != nil {
+		close(watchStop)
+	}
+	// An unrecovered device failure is an incident even when no alert rule
+	// watched for it: if the run ends with failed devices and nothing else
+	// dumped a bundle, dump one now.
+	if bundleW != nil && fl != nil {
+		if failed, _ := fl.Counts(); failed > 0 && bundleW.Written() == 0 {
+			if dir, err := bundleW.Dump("device-failure", sim.Step, nil); err != nil {
+				log.Printf("post-mortem: %v", err)
+			} else {
+				fmt.Printf("post-mortem bundle (unrecovered device failure) at %s\n", dir)
+			}
 		}
 	}
 	if dropped := sim.Dropped(); dropped > 0 {
@@ -324,5 +429,64 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("checkpoint written to %s (step %d)\n", *save, sim.Step)
+	}
+}
+
+// runGuarded runs body and, on panic, dumps a "run-error" bundle and
+// flushes the trace sink before re-panicking. DumpLive (no checkpoint)
+// because the simulation state mid-panic is not trustworthy.
+func runGuarded(w *bundle.Writer, sim *beamdyn.Simulation, trace *obs.JSONLSink, body func()) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if w != nil {
+			if dir, err := w.DumpLive("run-error", sim.Step, nil); err != nil {
+				log.Printf("post-mortem: %v", err)
+			} else {
+				log.Printf("run error: post-mortem bundle at %s", dir)
+			}
+		}
+		if trace != nil {
+			trace.Close()
+		}
+		panic(r)
+	}()
+	body()
+}
+
+// watchStall polls the sim_step gauge (atomic, so safe to read while the
+// step executes) and dumps one live post-mortem bundle if the counter
+// stops moving for longer than the stall window, then exits. The main
+// loop closes stop on a normal finish.
+func watchStall(o *obs.Observer, w *bundle.Writer, after time.Duration, stop chan struct{}) {
+	period := after / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	last := o.Reg.Gauge("sim_step").Value()
+	moved := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			cur := o.Reg.Gauge("sim_step").Value()
+			if cur != last {
+				last, moved = cur, time.Now()
+				continue
+			}
+			if time.Since(moved) > after {
+				if dir, err := w.DumpLive("stall", int(cur), nil); err != nil {
+					log.Printf("post-mortem: %v", err)
+				} else {
+					log.Printf("stall: no step progress for %s; post-mortem bundle at %s", after, dir)
+				}
+				return
+			}
+		}
 	}
 }

@@ -22,6 +22,11 @@
 //	    Compare two runs per span name. With -max-regress, exit 1 when
 //	    any shared span's mean regressed beyond the threshold.
 //
+//	obstool postmortem bundle-dir
+//	    Triage summary of a post-mortem bundle dumped by beamsim
+//	    -postmortem-dir: the dump reason and trigger alert, the alert
+//	    firing log, and the flight-recorder trace's per-span aggregation.
+//
 //	obstool gate budget.json [budget.json ...] trace.jsonl [-max-regress 10%]
 //	    Check the trace against one or more committed budget files —
 //	    BENCH_host.json gates the kernels' per-phase host costs,
@@ -52,6 +57,7 @@ commands:
   fleet     trace.jsonl                  per-device utilization and steal/retry accounting
   predictor trace.jsonl                  predictor quality series + fallback spike detection
   diff      old.jsonl new.jsonl          compare two runs per span name
+  postmortem bundle-dir                  triage summary of a post-mortem bundle
   gate      budget.json [...] trace.jsonl  enforce perf budgets (exit 1 on regression);
                                          budgets: BENCH_host.json and/or BENCH_rp.json
 
@@ -76,6 +82,8 @@ func main() {
 		runPredictor(args)
 	case "diff":
 		runDiff(args)
+	case "postmortem":
+		runPostmortem(args)
 	case "gate":
 		runGate(args)
 	case "-h", "--help", "help":
@@ -227,6 +235,16 @@ func runDiff(args []string) {
 		}
 		fmt.Printf("\nno span regressed beyond %s\n", *maxRegress)
 	}
+}
+
+func runPostmortem(args []string) {
+	fs := newFlagSet("postmortem", "bundle-dir")
+	dir := parseMixed(fs, args, 1)[0]
+	pm, err := analysis.ReadPostmortem(dir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(pm.Report())
 }
 
 func runGate(args []string) {

@@ -16,11 +16,15 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"time"
 
 	"beamdyn/internal/analytic"
+	"beamdyn/internal/diagnostics"
 	"beamdyn/internal/grid"
 	"beamdyn/internal/kernels"
 	"beamdyn/internal/obs"
+	"beamdyn/internal/obs/alert"
 	"beamdyn/internal/particles"
 	"beamdyn/internal/phys"
 	"beamdyn/internal/quadrature"
@@ -125,10 +129,29 @@ type Simulation struct {
 	// forwarded to the attached kernel each step, so setting it once here
 	// also instruments the kernel's predict/verify/fallback sub-phases.
 	Obs *obs.Observer
+	// Alerts, when non-nil, is evaluated once at the end of every Advance
+	// with the step's runtime signals: wall time, the kernel's fallback
+	// behaviour, predictor forecast quality, fleet device health (via
+	// DeviceCounts) and the physics invariants computed from
+	// diagnostics.Analyze. Firing alerts surface through the observer's
+	// registry and trace; nil costs one pointer test per step.
+	Alerts *alert.Engine
+	// DeviceCounts optionally reports (failed, degraded) device counts for
+	// the alert engine's device_failed/device_degraded signals (wired from
+	// fleet.Fleet.Counts by beamsim).
+	DeviceCounts func() (failed, degraded int)
 
 	// cx, cy track the exact bunch centre in continuum mode.
 	cx, cy  float64
 	dropped int
+
+	// invBase is the physics-invariant baseline (total charge and RMS
+	// sizes at the first alert-evaluated step) drift is measured against.
+	invBase struct {
+		set        bool
+		charge     float64
+		sigX, sigY float64
+	}
 
 	// solver is the persistent host reference solver used when Algo is
 	// nil; its per-worker evaluators and arenas are reused across steps,
@@ -205,6 +228,10 @@ func (s *Simulation) Ready() bool { return s.Hist.Len() >= 3 }
 // and returns the step index it executed.
 func (s *Simulation) Advance() int {
 	step := s.Step
+	var t0 time.Time
+	if s.Alerts != nil {
+		t0 = time.Now()
+	}
 	stepSpan := s.Obs.Span("advance", step)
 	// 1) Particle deposition (or its noiseless continuum limit).
 	sp := s.Obs.Span("advance/deposit", step)
@@ -275,7 +302,63 @@ func (s *Simulation) Advance() int {
 		s.Obs.Reg.Gauge("sim_step").Set(float64(s.Step))
 	}
 	stepSpan.End()
+	if s.Alerts != nil {
+		s.evalAlerts(step, time.Since(t0).Seconds())
+	}
 	return step
+}
+
+// evalAlerts assembles the step's alert-engine input — kernel fallback
+// behaviour, predictor quality, device health, and the physics-invariant
+// drifts — and evaluates the rule set. The invariant gauges are only
+// computed here, so runs without an alert engine pay nothing for them.
+func (s *Simulation) evalAlerts(step int, wallSec float64) {
+	in := alert.Input{Step: step, StepSeconds: wallSec}
+	if s.Last != nil && len(s.Last.Points) > 0 {
+		in.HasPredictor = true
+		in.FallbackEntries = float64(s.Last.FallbackEntries)
+		in.FallbackRate = in.FallbackEntries / float64(len(s.Last.Points))
+	}
+	if s.Obs != nil {
+		if smp, ok := s.Obs.Pred.Last(); ok && smp.Step == step {
+			in.HasPredictor = true
+			in.FallbackRate = smp.FallbackRate
+			in.FallbackEntries = float64(smp.FallbackEntries)
+			in.ErrMean, in.ErrP90, in.ErrMax = smp.ErrMean, smp.ErrP90, smp.ErrMax
+		}
+	}
+	if s.DeviceCounts != nil {
+		in.HasDevices = true
+		in.DeviceFailed, in.DeviceDegraded = s.DeviceCounts()
+	}
+	if s.Ensemble.Len() > 0 {
+		sum := diagnostics.Analyze(s.Ensemble)
+		if !s.invBase.set {
+			s.invBase.set = true
+			s.invBase.charge = sum.TotalCharge
+			s.invBase.sigX, s.invBase.sigY = sum.SigmaX, sum.SigmaY
+		}
+		in.HasPhysics = true
+		in.ChargeDrift = relDrift(sum.TotalCharge, s.invBase.charge)
+		in.MomentDrift = math.Max(relDrift(sum.SigmaX, s.invBase.sigX),
+			relDrift(sum.SigmaY, s.invBase.sigY))
+		if s.Obs != nil && s.Obs.Reg != nil {
+			s.Obs.Reg.Gauge("beam_total_charge").Set(sum.TotalCharge)
+			s.Obs.Reg.Gauge("beam_charge_drift").Set(in.ChargeDrift)
+			s.Obs.Reg.Gauge("beam_moment_drift").Set(in.MomentDrift)
+		}
+	}
+	s.Alerts.Eval(in)
+}
+
+// relDrift is the relative deviation of v from its baseline (absolute
+// when the baseline is zero).
+func relDrift(v, base float64) float64 {
+	d := math.Abs(v - base)
+	if base == 0 {
+		return d
+	}
+	return d / math.Abs(base)
 }
 
 // computeForces evaluates -grad(potential) on the grid and gathers it at

@@ -6,6 +6,8 @@ import (
 	"beamdyn/internal/gpusim"
 	"beamdyn/internal/kernels"
 	"beamdyn/internal/obs"
+	"beamdyn/internal/obs/alert"
+	"beamdyn/internal/obs/flight"
 )
 
 func TestAdvanceEmitsStageSpans(t *testing.T) {
@@ -80,6 +82,60 @@ func TestAdvanceWithoutObserverMatchesObserved(t *testing.T) {
 	for i := range a.Data {
 		if a.Data[i] != b.Data[i] {
 			t.Fatalf("observer changed potential at %d", i)
+		}
+	}
+}
+
+func TestAdvanceWithIncidentLayerBitwiseIdentical(t *testing.T) {
+	// The full incident layer — flight recorder, alert engine over the
+	// default rules, device counts, physics-invariant gauges — must leave
+	// the simulation output bitwise identical to a bare run.
+	plain := New(testConfig())
+	armed := New(testConfig())
+
+	o := obs.New()
+	rec := flight.New(128, nil)
+	o.Trace = obs.NewTracer(rec)
+	armed.Obs = o
+	rules, err := alert.ParseRules(alert.DefaultRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed.Alerts = alert.NewEngine(alert.Config{Rules: rules, Obs: o})
+	armed.DeviceCounts = func() (int, int) { return 0, 0 }
+
+	plain.Warmup()
+	armed.Warmup()
+	for i := 0; i < 2; i++ {
+		plain.Advance()
+		armed.Advance()
+	}
+	if plain.Step != armed.Step {
+		t.Fatalf("step drift: %d vs %d", plain.Step, armed.Step)
+	}
+	a, b := plain.Potential, armed.Potential
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("incident layer changed potential at %d", i)
+		}
+	}
+	// The layer actually ran: rules were evaluated every step, the flight
+	// recorder retained spans, and the invariant gauges were published.
+	if st := armed.Alerts.Status(); st.StepsEvaluated != armed.Step {
+		t.Fatalf("engine evaluated %d steps, want %d", st.StepsEvaluated, armed.Step)
+	}
+	if rec.Total() == 0 {
+		t.Fatal("flight recorder saw no events")
+	}
+	for _, g := range []string{"beam_total_charge", "beam_charge_drift", "beam_moment_drift"} {
+		found := false
+		for _, gv := range o.Reg.Snapshot().Gauges {
+			if gv.Name == g {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("invariant gauge %s not published", g)
 		}
 	}
 }

@@ -26,6 +26,22 @@ type DeviceHealth struct {
 	Utilization float64 `json:"utilization"`
 }
 
+// Counts summarizes the fleet into the failed/degraded totals the alert
+// engine's device signals consume (core.Simulation.DeviceCounts). Draining
+// devices count as degraded: they still hold capacity the scheduler can no
+// longer use.
+func (f *Fleet) Counts() (failed, degraded int) {
+	for d := 0; d < f.mgr.NumDevices(); d++ {
+		switch f.mgr.State(d) {
+		case Failed:
+			failed++
+		case Degraded, Draining:
+			degraded++
+		}
+	}
+	return failed, degraded
+}
+
 // Health reports every managed device's lifecycle state and last-step
 // utilization. Safe to call concurrently with Step: states come from the
 // manager (safe for concurrent use) and the load figures from the last

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"beamdyn/internal/obs"
+	"beamdyn/internal/obs/alert"
 )
 
 // DeviceHealth is one fleet device's state as reported by /healthz. The
@@ -34,6 +35,10 @@ type HealthReport struct {
 	// SecondsSinceAdvance is how long ago the step counter last moved,
 	// as observed across /healthz and /metrics requests.
 	SecondsSinceAdvance float64 `json:"seconds_since_advance"`
+	// AlertsActive / AlertsCritical count currently-firing alerts when an
+	// alert engine is attached; any active alert degrades the status.
+	AlertsActive   int `json:"alerts_active,omitempty"`
+	AlertsCritical int `json:"alerts_critical,omitempty"`
 	// Devices lists fleet device states when a fleet is attached.
 	Devices []DeviceHealth `json:"devices,omitempty"`
 }
@@ -43,6 +48,7 @@ type HealthReport struct {
 //	/metrics        Prometheus text exposition of the registry
 //	/snapshot.json  the full run snapshot (metrics + predictor series)
 //	/healthz        step liveness + fleet device states (503 when stalled)
+//	/alerts         the alert engine's rules, active alerts and firing log
 //	/debug/pprof/   the standard Go profiling handlers
 //
 // Every endpoint reads point-in-time snapshots, so scraping mid-step is
@@ -54,11 +60,20 @@ type Server struct {
 	// Devices optionally reports fleet device health (wired by beamsim
 	// from fleet.Fleet.Health when -fleet is active).
 	Devices func() []DeviceHealth
+	// Alerts optionally serves /alerts and folds active alerts into the
+	// /healthz status (nil engines are inert, so wiring it unconditionally
+	// is safe).
+	Alerts *alert.Engine
 	// StaleAfter is the step-liveness window: when > 0 and the step
 	// counter has not advanced for longer, /healthz reports "stalled"
 	// with HTTP 503. 0 disables the stall check (the probe still reports
 	// seconds_since_advance).
 	StaleAfter time.Duration
+	// OnServeError, when non-nil, receives the background listener's
+	// terminal error from Start (http.ErrServerClosed excluded). When nil
+	// the error is still surfaced as an export_serve_errors_total counter
+	// on the observer's registry.
+	OnServeError func(error)
 
 	// now stubs the clock in tests; nil means time.Now.
 	now func() time.Time
@@ -75,6 +90,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/snapshot.json", s.handleSnapshot)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/alerts", s.handleAlerts)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -85,15 +101,40 @@ func (s *Server) Handler() http.Handler {
 }
 
 // Start listens on addr and serves in a background goroutine, returning
-// the bound address (useful with ":0") and a shutdown handle.
+// the bound address (useful with ":0") and a shutdown handle. A terminal
+// Serve error (other than the http.ErrServerClosed a clean shutdown
+// returns) goes to OnServeError, or failing that shows up as an
+// export_serve_errors_total counter so a scraper that suddenly loses the
+// endpoint has a trail.
 func (s *Server) Start(addr string) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	hs := &http.Server{Handler: s.Handler()}
-	go hs.Serve(ln)
+	hs := &http.Server{
+		Handler: s.Handler(),
+		// Slow-loris guard: the exposition endpoints never need more than
+		// a moment to read a scrape request's headers.
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.reportServeError(err)
+		}
+	}()
 	return hs, ln.Addr(), nil
+}
+
+// reportServeError routes a background listener failure to the configured
+// callback, or counts it on the registry when no callback is set.
+func (s *Server) reportServeError(err error) {
+	if s.OnServeError != nil {
+		s.OnServeError(err)
+		return
+	}
+	if s.Obs != nil && s.Obs.Reg != nil {
+		s.Obs.Reg.Counter("export_serve_errors_total").Inc()
+	}
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -102,7 +143,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, "beamdyn telemetry\n\n/metrics\n/snapshot.json\n/healthz\n/debug/pprof/\n")
+	fmt.Fprint(w, "beamdyn telemetry\n\n/metrics\n/snapshot.json\n/healthz\n/alerts\n/debug/pprof/\n")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -117,10 +158,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := s.Obs.WriteSnapshot(w); err != nil {
+	// The zero-server contract holds here too: with no observer attached
+	// this serves the empty RunSnapshot document rather than failing the
+	// request, so probes configured before the run wires telemetry still
+	// get well-formed JSON.
+	var o *obs.Observer
+	if s != nil {
+		o = s.Obs
+	}
+	if err := o.WriteSnapshot(w); err != nil {
 		// Headers are gone; all we can do is cut the connection short.
 		return
 	}
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Alerts.Status())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -142,6 +198,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 				break
 			}
 		}
+	}
+	if total, crit := s.Alerts.ActiveCount(); total > 0 {
+		rep.Status = "degraded"
+		rep.AlertsActive = total
+		rep.AlertsCritical = crit
 	}
 	code := http.StatusOK
 	if s.StaleAfter > 0 && since > s.StaleAfter {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"beamdyn/internal/obs"
+	"beamdyn/internal/obs/alert"
 )
 
 func testServer(t *testing.T, s *Server) *httptest.Server {
@@ -181,6 +182,166 @@ func TestHealthzFleetDevices(t *testing.T) {
 	}
 	if rep.Status != "degraded" || len(rep.Devices) != 2 || rep.Devices[1].State != "failed" {
 		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestSnapshotEndpointNilObserver(t *testing.T) {
+	// Regression: a server probed before the run wires its observer must
+	// serve the empty RunSnapshot document, not fail the request.
+	ts := testServer(t, &Server{})
+	code, body, hdr := get(t, ts.URL+"/snapshot.json")
+	if code != http.StatusOK {
+		t.Fatalf("GET /snapshot.json with nil Obs = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content-type = %q", ct)
+	}
+	var rs obs.RunSnapshot
+	if err := json.Unmarshal([]byte(body), &rs); err != nil {
+		t.Fatalf("empty snapshot not valid JSON: %v\n%s", err, body)
+	}
+	if len(rs.Metrics.Counters) != 0 || len(rs.Predictor) != 0 {
+		t.Fatalf("empty snapshot carries data: %+v", rs)
+	}
+}
+
+func TestHealthzStalledWinsOverDegraded(t *testing.T) {
+	// Precedence: a stall is strictly worse than degradation — a stalled
+	// run with failed devices must report "stalled" (503), not "degraded".
+	o := obs.New()
+	o.Reg.Gauge("sim_step").Set(1)
+	clock := time.Unix(1000, 0)
+	s := &Server{Obs: o, StaleAfter: 10 * time.Second,
+		now: func() time.Time { return clock },
+		Devices: func() []DeviceHealth {
+			return []DeviceHealth{{Device: "dev0", State: "failed"}}
+		}}
+	ts := testServer(t, s)
+
+	// First probe: degraded (devices down, step fresh).
+	_, body, _ := get(t, ts.URL+"/healthz")
+	var rep HealthReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "degraded" {
+		t.Fatalf("fresh probe status = %q, want degraded", rep.Status)
+	}
+
+	// Step counter frozen past the window: stalled wins.
+	clock = clock.Add(11 * time.Second)
+	code, body, _ := get(t, ts.URL+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("stalled+degraded healthz = %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "stalled" {
+		t.Fatalf("status = %q, want stalled to win over degraded", rep.Status)
+	}
+}
+
+func TestAlertsEndpointAndDegradedStatus(t *testing.T) {
+	o := obs.New()
+	rules, err := alert.ParseRules("device_failed:for=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := alert.NewEngine(alert.Config{Rules: rules, Obs: o})
+	ts := testServer(t, &Server{Obs: o, Alerts: eng})
+
+	// No alerts yet: /alerts lists the rules, /healthz is ok.
+	_, body, hdr := get(t, ts.URL+"/alerts")
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content-type = %q", ct)
+	}
+	var st alert.Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Rules) != 1 || st.Rules[0] != "device_failed" || len(st.Active) != 0 {
+		t.Fatalf("quiet status = %+v", st)
+	}
+	_, body, _ = get(t, ts.URL+"/healthz")
+	var rep HealthReport
+	json.Unmarshal([]byte(body), &rep)
+	if rep.Status != "ok" {
+		t.Fatalf("quiet healthz status = %q", rep.Status)
+	}
+
+	// Fire an alert: /alerts shows it active, /healthz degrades (200).
+	eng.Eval(alert.Input{Step: 7, HasDevices: true, DeviceFailed: 1})
+	code, body, _ := get(t, ts.URL+"/alerts")
+	if code != http.StatusOK {
+		t.Fatalf("GET /alerts = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Active) != 1 || st.Active[0].Rule != "device_failed" || st.Active[0].Step != 7 {
+		t.Fatalf("firing status = %+v", st)
+	}
+	code, body, _ = get(t, ts.URL+"/healthz")
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK || rep.Status != "degraded" || rep.AlertsActive != 1 || rep.AlertsCritical != 1 {
+		t.Fatalf("firing healthz = %d %+v", code, rep)
+	}
+
+	// Resolution clears it (fresh struct: omitted zero fields must not
+	// inherit the previous decode's values).
+	eng.Eval(alert.Input{Step: 8, HasDevices: true, DeviceFailed: 0})
+	_, body, _ = get(t, ts.URL+"/healthz")
+	var resolved HealthReport
+	if err := json.Unmarshal([]byte(body), &resolved); err != nil {
+		t.Fatal(err)
+	}
+	if resolved.Status != "ok" || resolved.AlertsActive != 0 {
+		t.Fatalf("resolved healthz = %+v", resolved)
+	}
+}
+
+func TestZeroServerServesEmptyAlerts(t *testing.T) {
+	ts := testServer(t, &Server{})
+	code, body, _ := get(t, ts.URL+"/alerts")
+	if code != http.StatusOK {
+		t.Fatalf("empty /alerts = %d", code)
+	}
+	var st alert.Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("empty /alerts not valid JSON: %v\n%s", err, body)
+	}
+}
+
+func TestReportServeError(t *testing.T) {
+	// With a callback, the listener error goes there; without one it is
+	// counted on the registry so it is at least visible in snapshots.
+	var got error
+	s := &Server{OnServeError: func(err error) { got = err }}
+	s.reportServeError(io.ErrUnexpectedEOF)
+	if got != io.ErrUnexpectedEOF {
+		t.Fatalf("callback got %v", got)
+	}
+
+	o := obs.New()
+	s = &Server{Obs: o}
+	s.reportServeError(io.ErrUnexpectedEOF)
+	if c := o.Reg.Counter("export_serve_errors_total"); c.Value() != 1 {
+		t.Fatalf("export_serve_errors_total = %d, want 1", c.Value())
+	}
+}
+
+func TestStartSetsReadHeaderTimeout(t *testing.T) {
+	s := &Server{Obs: obs.New()}
+	hs, _, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hs.Close()
+	if hs.ReadHeaderTimeout <= 0 {
+		t.Fatal("Start left ReadHeaderTimeout unset (slow-loris guard missing)")
 	}
 }
 

@@ -3,10 +3,16 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"io"
 	"sync"
 	"time"
 )
+
+// ErrSinkClosed is returned by JSONLSink.Emit after Close: the event was
+// not written anywhere, rather than silently buffered into a flushed-and-
+// forgotten buffer.
+var ErrSinkClosed = errors.New("obs: emit on closed sink")
 
 // Event is one trace record. Timestamps are seconds since the tracer was
 // created; Dur is the span duration in seconds (0 for point events).
@@ -109,11 +115,12 @@ func (t *Tracer) emit(name, kind string, step int, dur float64, attrs []Attr) {
 // Emit mid-run (disk full, closed pipe) therefore cannot silently
 // truncate a trace, even though the tracer keeps the run alive.
 type JSONLSink struct {
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	enc *json.Encoder
-	c   io.Closer
-	err error
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	c      io.Closer
+	closed bool
+	err    error
 }
 
 // NewJSONLSink returns a sink writing JSONL to w. If w is an io.Closer
@@ -129,10 +136,15 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 
 // Emit implements Sink. After the first write error the sink goes dead
 // and every later Emit returns that same error without touching the
-// broken writer again.
+// broken writer again. Emit after Close returns ErrSinkClosed: a late
+// event (a watchdog firing during shutdown, say) must not land in a
+// buffer nothing will ever flush.
 func (s *JSONLSink) Emit(e Event) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSinkClosed
+	}
 	if s.err != nil {
 		return s.err
 	}
@@ -170,6 +182,7 @@ func (s *JSONLSink) Err() error {
 func (s *JSONLSink) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.closed = true
 	s.flushLocked()
 	if s.c != nil {
 		if err := s.c.Close(); err != nil && s.err == nil {

@@ -165,6 +165,33 @@ func TestJSONLSinkCloseFlushesAndClosesWriter(t *testing.T) {
 	}
 }
 
+func TestJSONLSinkEmitAfterCloseFails(t *testing.T) {
+	// An event emitted after Close (a watchdog firing during shutdown,
+	// say) must be rejected with ErrSinkClosed, not buffered into a
+	// writer nothing will ever flush again — and the close-time contents
+	// must not change.
+	w := &closeRecorder{}
+	sink := NewJSONLSink(w)
+	if err := sink.Emit(Event{Name: "a", Kind: "event"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	flushed := w.String()
+	if err := sink.Emit(Event{Name: "late", Kind: "event"}); !errors.Is(err, ErrSinkClosed) {
+		t.Fatalf("Emit after Close = %v, want ErrSinkClosed", err)
+	}
+	if w.String() != flushed {
+		t.Fatalf("post-Close Emit changed the output: %q -> %q", flushed, w.String())
+	}
+	// The closed state is not a sticky *error*: Close still reports a
+	// clean run.
+	if err := sink.Err(); err != nil {
+		t.Fatalf("Err after clean close = %v", err)
+	}
+}
+
 func TestJSONLSinkSurfacesMidRunWriteError(t *testing.T) {
 	wantErr := errors.New("disk full")
 	sink := NewJSONLSink(&failAfterWriter{n: 16, err: wantErr})
