@@ -1,10 +1,10 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race test-fleet-race test-alert-race bench-obs bench-host bench-json bench-json-ci bench-rp bench-rp-json obs-gate
+.PHONY: ci fmt vet build test race test-fleet-race test-alert-race test-jobs-race bench-obs bench-host bench-json bench-json-ci bench-rp bench-rp-json obs-gate
 
 # The full local CI gate: what a PR must pass.
-ci: fmt vet build race test-fleet-race test-alert-race bench-obs bench-host bench-json-ci bench-rp obs-gate
+ci: fmt vet build race test-fleet-race test-alert-race test-jobs-race bench-obs bench-host bench-json-ci bench-rp obs-gate
 
 # Formatting gate: fail (and list the offenders) if any file needs gofmt.
 fmt:
@@ -44,6 +44,17 @@ test-alert-race:
 		-alerts "device_failed:for=1;steptime:mad=8" \
 		-flight-depth 1024 -postmortem-dir /tmp/beamdyn_pm
 	$(GO) run ./cmd/obstool postmortem /tmp/beamdyn_pm/postmortem-00-*
+
+# Control-plane gate: race-check the jobs package (queue hammering, the
+# checkpoint/resume chaos test, SSE streaming), then run the scenario
+# catalog through a real oneshot server with tracing on and hold the
+# queue-wait p95 to the committed BENCH_jobs.json budget.
+test-jobs-race:
+	$(GO) test -race -count=1 ./internal/jobs/...
+	$(GO) run ./cmd/beamsim serve -http "" -oneshot \
+		-trace /tmp/jobs_gate_trace.jsonl \
+		-submit examples/scenarios/smooth-gaussian.json,examples/scenarios/halo-dominated.json,examples/scenarios/bunch-compression.json
+	$(GO) run ./cmd/obstool gate BENCH_jobs.json /tmp/jobs_gate_trace.jsonl
 
 # Telemetry-overhead check: the disabled path must stay within 5% of the
 # uninstrumented kernel step, and the full incident layer (flight recorder

@@ -1,0 +1,289 @@
+// Command beamctl is the thin client of the beamsim job control plane
+// ("beamsim serve"): it submits JobSpec files, polls status, streams the
+// per-job event log, cancels, and fetches results over the HTTP/JSON API.
+//
+// Usage:
+//
+//	beamctl [-addr host:port] [-json] <command> [args]
+//
+//	beamctl submit spec.json [spec.json ...]   submit jobs, print their ids
+//	beamctl list                               list every job
+//	beamctl status j-000001                    one job's status
+//	beamctl watch j-000001                     stream events until terminal
+//	beamctl cancel j-000001                    cancel a job
+//	beamctl result j-000001                    fetch the final grid (JSON)
+//
+// -json switches the human-readable output to raw API JSON for scripting;
+// result always prints JSON. Exit codes: 0 ok, 1 the watched/fetched job
+// failed, 2 usage or transport error.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"beamdyn/internal/jobs"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: beamctl [-addr host:port] [-json] <command> [args]
+
+commands:
+  submit spec.json [...]   submit JobSpec files, print the assigned ids
+  list                     list every job
+  status <id>              one job's status
+  watch <id>               stream the job's events (SSE) until it finishes
+  cancel <id>              cancel a queued or running job
+  result <id>              fetch the final potential grid (JSON)
+`)
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "control plane address (host:port)")
+	asJSON := flag.Bool("json", false, "print raw API JSON instead of human-readable output")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	c := &client{base: "http://" + *addr, json: *asJSON}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = c.submit(args)
+	case "list":
+		err = c.list(args)
+	case "status":
+		err = c.status(args)
+	case "watch":
+		err = c.watch(args)
+	case "cancel":
+		err = c.cancel(args)
+	case "result":
+		err = c.result(args)
+	default:
+		fmt.Fprintf(os.Stderr, "beamctl: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "beamctl: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+type client struct {
+	base string
+	json bool
+}
+
+// do performs one API call and decodes the JSON response into out,
+// translating non-2xx responses into their {"error": ...} body.
+func (c *client) do(method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, apiErr.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+func (c *client) submit(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("submit wants at least one spec file")
+	}
+	for _, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var st jobs.Status
+		if err := c.do(http.MethodPost, "/jobs", bytes.NewReader(data), &st); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if c.json {
+			printJSON(st)
+		} else {
+			fmt.Printf("%s  %s (%s, priority %d)\n", st.ID, st.Name, st.State, st.Priority)
+		}
+	}
+	return nil
+}
+
+func (c *client) list(args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("list takes no arguments")
+	}
+	var sts []jobs.Status
+	if err := c.do(http.MethodGet, "/jobs", nil, &sts); err != nil {
+		return err
+	}
+	if c.json {
+		printJSON(sts)
+		return nil
+	}
+	fmt.Printf("%-10s %-24s %-10s %-9s %4s %9s %8s\n",
+		"id", "name", "state", "tenant", "prio", "step", "attempts")
+	for _, st := range sts {
+		fmt.Printf("%-10s %-24s %-10s %-9s %4d %4d/%-4d %8d\n",
+			st.ID, st.Name, st.State, st.Tenant, st.Priority, st.Step, st.TargetStep, st.Attempts)
+	}
+	return nil
+}
+
+func (c *client) status(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("status wants exactly one job id")
+	}
+	var st jobs.Status
+	if err := c.do(http.MethodGet, "/jobs/"+args[0], nil, &st); err != nil {
+		return err
+	}
+	if c.json {
+		printJSON(st)
+		return nil
+	}
+	printStatus(st)
+	return nil
+}
+
+func printStatus(st jobs.Status) {
+	fmt.Printf("%s  %s\n", st.ID, st.Name)
+	fmt.Printf("  state:    %s\n", st.State)
+	fmt.Printf("  tenant:   %s (priority %d)\n", st.Tenant, st.Priority)
+	fmt.Printf("  step:     %d / %d\n", st.Step, st.TargetStep)
+	fmt.Printf("  attempts: %d (workers %v)\n", st.Attempts, st.Workers)
+	fmt.Printf("  waited:   %.3fs  ran: %.3fs\n", st.QueueWaitSec, st.RunSec)
+	if st.Error != "" {
+		fmt.Printf("  error:    %s\n", st.Error)
+	}
+	if st.HasResult {
+		fmt.Printf("  result:   ready (beamctl result %s)\n", st.ID)
+	}
+}
+
+// watch streams the job's SSE event feed, printing each event, and exits 1
+// when the job ends FAILED.
+func (c *client) watch(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("watch wants exactly one job id")
+	}
+	id := args[0]
+	resp, err := http.Get(c.base + "/jobs/" + id + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	last := jobs.State("")
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue
+		}
+		var ev jobs.Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return fmt.Errorf("bad event %q: %w", data, err)
+		}
+		if c.json {
+			fmt.Println(data)
+		} else {
+			printEvent(ev)
+		}
+		if ev.Type == "state" {
+			last = ev.State
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if last == jobs.StateFailed {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func printEvent(ev jobs.Event) {
+	ts := ev.TS.Format(time.TimeOnly)
+	switch ev.Type {
+	case "state":
+		fmt.Printf("%s  %-10s %s\n", ts, ev.State, ev.Msg)
+	case "progress":
+		fmt.Printf("%s  step %4d  sigma=(%.3g, %.3g)\n", ts, ev.Step, ev.SigmaX, ev.SigmaY)
+	default:
+		fmt.Printf("%s  %-10s step %d %s\n", ts, ev.Type, ev.Step, ev.Msg)
+	}
+}
+
+func (c *client) cancel(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("cancel wants exactly one job id")
+	}
+	var st jobs.Status
+	if err := c.do(http.MethodDelete, "/jobs/"+args[0], nil, &st); err != nil {
+		return err
+	}
+	if c.json {
+		printJSON(st)
+	} else {
+		fmt.Printf("%s cancel requested (state %s)\n", st.ID, st.State)
+	}
+	return nil
+}
+
+func (c *client) result(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("result wants exactly one job id")
+	}
+	var res json.RawMessage
+	if err := c.do(http.MethodGet, "/jobs/"+args[0]+"/result", nil, &res); err != nil {
+		return err
+	}
+	os.Stdout.Write(res)
+	fmt.Println()
+	return nil
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // stdout
+}

@@ -33,6 +33,12 @@
 // unrecovered device failures and run errors dump a self-contained
 // post-mortem bundle there (flight trace, metrics snapshot, alert log,
 // checkpoint, profiles) for offline triage with "obstool postmortem".
+//
+// "beamsim serve" switches from one-shot runs to the job control plane
+// (see the Serving section of README.md): simulations are submitted as
+// JobSpec documents over HTTP (POST /jobs), queued per tenant and
+// priority, dispatched onto a worker pool, checkpointed every step and
+// resumed after device failures. cmd/beamctl is the matching client.
 package main
 
 import (
@@ -56,6 +62,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("beamsim: ")
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	var (
 		n       = flag.Int("n", 100000, "number of macro-particles")
 		nx      = flag.Int("grid", 64, "grid resolution (NxN)")

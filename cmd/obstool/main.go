@@ -30,7 +30,8 @@
 //	obstool gate budget.json [budget.json ...] trace.jsonl [-max-regress 10%]
 //	    Check the trace against one or more committed budget files —
 //	    BENCH_host.json gates the kernels' per-phase host costs,
-//	    BENCH_rp.json gates the host reference solver's per-step cost —
+//	    BENCH_rp.json gates the host reference solver's per-step cost,
+//	    BENCH_jobs.json gates the job control plane's queue-wait p95 —
 //	    and exit 1 on regression. Budget files are dispatched on their
 //	    "benchmark" tag. `make obs-gate` runs this in CI on short
 //	    deterministic runs.
@@ -59,7 +60,7 @@ commands:
   diff      old.jsonl new.jsonl          compare two runs per span name
   postmortem bundle-dir                  triage summary of a post-mortem bundle
   gate      budget.json [...] trace.jsonl  enforce perf budgets (exit 1 on regression);
-                                         budgets: BENCH_host.json and/or BENCH_rp.json
+                                         budgets: BENCH_host.json, BENCH_rp.json, BENCH_jobs.json
 
 "-" reads a trace from stdin. Run "obstool <command> -h" for flags.
 `)
@@ -275,6 +276,14 @@ func runGate(args []string) {
 				fatal(err)
 			}
 			if results, err = analysis.GateRP(base, stats, limit); err != nil {
+				fatal(fmt.Errorf("%s: %w", bp, err))
+			}
+		case analysis.JobsBenchmarkName:
+			base, err := analysis.ReadJobsBaseline(bp)
+			if err != nil {
+				fatal(err)
+			}
+			if results, err = analysis.GateJobs(base, stats, limit); err != nil {
 				fatal(fmt.Errorf("%s: %w", bp, err))
 			}
 		default: // host-phases (legacy files carry no benchmark tag)

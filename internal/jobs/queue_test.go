@@ -1,0 +1,249 @@
+package jobs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testSpec builds a minimal valid spec for queue-level tests (the queue
+// never runs it).
+func testSpec(name, tenant string, prio int) Spec {
+	sp := Spec{
+		Name:     name,
+		Tenant:   tenant,
+		Priority: prio,
+		Beam:     BeamSpec{Particles: 100, ChargeC: 1e-9, SigmaX: 1e-4, SigmaY: 5e-5, EnergyEV: 1e9},
+		Grid:     GridSpec{NX: 8},
+		Steps:    1,
+		Kernel:   "twophase",
+	}
+	sp.Normalize()
+	return sp
+}
+
+// fakeClock is a lockable test clock for deadline tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestQueuePriorityAndFIFO(t *testing.T) {
+	q := newQueue(0, nil, nil)
+	now := time.Now()
+	low1 := newJob("low1", testSpec("low1", "a", 1), now)
+	low2 := newJob("low2", testSpec("low2", "a", 1), now)
+	high := newJob("high", testSpec("high", "a", 5), now)
+	for _, j := range []*Job{low1, low2, high} {
+		if err := q.push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []*Job{high, low1, low2}
+	for i, w := range want {
+		got := q.pop(0, true)
+		if got != w {
+			t.Fatalf("pop %d = %s, want %s (priority order, FIFO within priority)", i, got.ID, w.ID)
+		}
+	}
+}
+
+func TestQueueTenantQuota(t *testing.T) {
+	q := newQueue(2, nil, nil)
+	now := time.Now()
+	for i := 0; i < 2; i++ {
+		if err := q.push(newJob("a", testSpec("a", "alice", 0), now)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := q.push(newJob("a3", testSpec("a3", "alice", 0), now))
+	if err == nil {
+		t.Fatal("third queued job for one tenant accepted past quota 2")
+	}
+	// Another tenant is unaffected.
+	if err := q.push(newJob("b", testSpec("b", "bob", 0), now)); err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+	// Draining one of alice's jobs frees her quota slot.
+	q.pop(0, true)
+	if err := q.push(newJob("a4", testSpec("a4", "alice", 0), now)); err != nil {
+		t.Fatalf("tenant still over quota after a pop: %v", err)
+	}
+}
+
+func TestQueueDeadline(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var expired atomic.Int32
+	q := newQueue(0, clk.now, func(*Job) { expired.Add(1) })
+
+	dead := testSpec("dead", "a", 0)
+	dead.DeadlineSec = 5
+	past := newJob("past", dead, clk.now().Add(-10*time.Second))
+	if err := q.push(past); err != ErrDeadline {
+		t.Fatalf("push of already-expired job = %v, want ErrDeadline", err)
+	}
+
+	soon := newJob("soon", dead, clk.now())
+	fine := newJob("fine", testSpec("fine", "a", 0), clk.now())
+	if err := q.push(soon); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(fine); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(10 * time.Second) // soon's deadline passes while queued
+	if got := q.pop(0, true); got != fine {
+		t.Fatalf("pop = %s, want the undeadlined job", got.ID)
+	}
+	if expired.Load() != 1 {
+		t.Fatalf("onExpire ran %d times, want 1 (the expired queued job)", expired.Load())
+	}
+}
+
+func TestQueueAvoidWorker(t *testing.T) {
+	q := newQueue(0, nil, nil)
+	now := time.Now()
+	j := newJob("resumed", testSpec("resumed", "a", 0), now)
+	j.avoid = 0
+	other := newJob("other", testSpec("other", "a", 0), now)
+	if err := q.push(j); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(other); err != nil {
+		t.Fatal(err)
+	}
+	// Worker 0 must skip the job avoiding it and take the other one.
+	if got := q.pop(0, false); got != other {
+		t.Fatalf("worker 0 popped %s, want %s", got.ID, other.ID)
+	}
+	// Worker 1 may take it.
+	if got := q.pop(1, false); got != j {
+		t.Fatalf("worker 1 popped %s, want %s", got.ID, j.ID)
+	}
+}
+
+func TestQueueAvoidSoleWorker(t *testing.T) {
+	q := newQueue(0, nil, nil)
+	j := newJob("resumed", testSpec("resumed", "a", 0), time.Now())
+	j.avoid = 0
+	if err := q.push(j); err != nil {
+		t.Fatal(err)
+	}
+	// A single-worker deployment must still drain the resume.
+	if got := q.pop(0, true); got != j {
+		t.Fatalf("sole worker popped %v, want the avoided job", got)
+	}
+}
+
+func TestQueueResumeKeepsFIFOPlace(t *testing.T) {
+	q := newQueue(0, nil, nil)
+	now := time.Now()
+	first := newJob("first", testSpec("first", "a", 0), now)
+	second := newJob("second", testSpec("second", "a", 0), now)
+	if err := q.push(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(second); err != nil {
+		t.Fatal(err)
+	}
+	got := q.pop(0, true)
+	if got != first {
+		t.Fatalf("pop = %s, want first", got.ID)
+	}
+	// first resumes: it keeps seq 1 and outranks second.
+	if err := q.pushResume(first); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.pop(1, true); got != first {
+		t.Fatalf("resume lost its FIFO place: pop = %s", got.ID)
+	}
+}
+
+func TestQueueDrainWakesBlockedPop(t *testing.T) {
+	q := newQueue(0, nil, nil)
+	done := make(chan *Job, 1)
+	go func() { done <- q.pop(0, true) }()
+	time.Sleep(10 * time.Millisecond) // let the pop block
+	q.drain()
+	select {
+	case j := <-done:
+		if j != nil {
+			t.Fatalf("pop after drain = %v, want nil", j)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop did not wake on drain")
+	}
+}
+
+// TestQueueCancellationRaces hammers push/remove/pop concurrently; run
+// under -race this is the queue's data-race proof. Every job is either
+// popped exactly once or removed exactly once, never both.
+func TestQueueCancellationRaces(t *testing.T) {
+	q := newQueue(0, nil, nil)
+	const n = 200
+	jobsCh := make(chan *Job, n)
+	var popped, removed atomic.Int32
+
+	var wg sync.WaitGroup
+	// Poppers: two workers draining until close.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for {
+				j := q.pop(id, false)
+				if j == nil {
+					return
+				}
+				popped.Add(1)
+				j.transition(time.Now(), StateDone, id, "popped")
+			}
+		}(w)
+	}
+	// Cancellers: race remove against the poppers.
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobsCh {
+				if q.remove(j) {
+					removed.Add(1)
+					j.transition(time.Now(), StateCancelled, -1, "removed")
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		j := newJob("x", testSpec("x", "a", i%3), time.Now())
+		if err := q.push(j); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			jobsCh <- j
+		}
+	}
+	close(jobsCh)
+	// Let the poppers drain what the cancellers left, then close.
+	for q.depth() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	q.drain()
+	wg.Wait()
+	if got := popped.Load() + removed.Load(); got != n {
+		t.Fatalf("popped %d + removed %d = %d, want every job accounted for (%d)",
+			popped.Load(), removed.Load(), got, n)
+	}
+}

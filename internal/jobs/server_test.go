@@ -1,0 +1,333 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"beamdyn/internal/obs"
+)
+
+// smallSpec is a fast single-device job for dispatcher tests.
+func smallSpec(name string) Spec {
+	sp := Spec{
+		Name:   name,
+		Beam:   BeamSpec{Particles: 2000, ChargeC: 1e-9, SigmaX: 1e-4, SigmaY: 5e-5, EnergyEV: 4.3e9},
+		Grid:   GridSpec{NX: 16},
+		Steps:  2,
+		Kernel: "twophase",
+		Kappa:  4,
+		Seed:   7,
+	}
+	sp.Normalize()
+	if err := sp.Validate(); err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// fleetSpec is a two-device fleet job with pinned bands; inject scripts
+// health events against the first attempt's pool.
+func fleetSpec(name, inject string) Spec {
+	sp := Spec{
+		Name:   name,
+		Beam:   BeamSpec{Particles: 2000, ChargeC: 1e-9, SigmaX: 1e-4, SigmaY: 5e-5, EnergyEV: 4.3e9},
+		Grid:   GridSpec{NX: 16},
+		Steps:  3,
+		Kernel: "twophase",
+		Kappa:  4,
+		Seed:   7,
+		Fleet:  &FleetSpec{Devices: 2, Bands: 8, Inject: inject},
+	}
+	sp.Normalize()
+	if err := sp.Validate(); err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// waitRunning waits until j has been popped off the queue (its tenant
+// quota slot is freed at pop time, so tests that count queued jobs must
+// wait for this before submitting more).
+func waitRunning(t *testing.T, j *Job) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for j.State() == StateQueued || j.State() == StatePending {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never started (state %s)", j.ID, j.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func waitDone(t *testing.T, j *Job) Status {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s did not finish (state %s, step %d)", j.ID, j.State(), j.Status().Step)
+	}
+	return j.Status()
+}
+
+func TestServerRunsJobToDone(t *testing.T) {
+	observer := obs.New()
+	s := New(Config{Workers: 1, Obs: observer})
+	defer s.Close()
+
+	j, err := s.Submit(smallSpec("simple"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, j)
+	if st.State != StateDone {
+		t.Fatalf("state = %s (err %q), want DONE", st.State, st.Error)
+	}
+	if st.Attempts != 1 || len(st.Workers) != 1 {
+		t.Errorf("attempts = %d workers = %v, want one clean episode", st.Attempts, st.Workers)
+	}
+	res := j.Result()
+	if res == nil {
+		t.Fatal("DONE job has no result")
+	}
+	if res.Step != j.Spec.TargetStep() {
+		t.Errorf("result step = %d, want %d", res.Step, j.Spec.TargetStep())
+	}
+	if res.SHA256 == "" || len(res.Data) != res.NX*res.NY {
+		t.Errorf("result grid malformed: sha=%q len=%d", res.SHA256, len(res.Data))
+	}
+	if res.SigmaX <= 0 || res.SigmaY <= 0 {
+		t.Errorf("result beam sizes = (%g, %g), want positive", res.SigmaX, res.SigmaY)
+	}
+
+	// Lifecycle: QUEUED -> RUNNING -> DONE with progress along the way.
+	var states []State
+	progress := 0
+	for _, ev := range j.Events() {
+		switch ev.Type {
+		case "state":
+			states = append(states, ev.State)
+		case "progress":
+			progress++
+		}
+	}
+	want := []State{StateQueued, StateRunning, StateDone}
+	if len(states) != len(want) {
+		t.Fatalf("state events = %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("state events = %v, want %v", states, want)
+		}
+	}
+	if progress == 0 {
+		t.Error("no progress events")
+	}
+
+	// Metrics: submit/complete counters and the wait histogram moved.
+	reg := observer.Reg
+	if got := reg.Counter("jobs_submitted_total", obs.Label{Key: "tenant", Value: "default"}).Value(); got != 1 {
+		t.Errorf("jobs_submitted_total = %d, want 1", got)
+	}
+	if got := reg.Counter("jobs_completed_total", obs.Label{Key: "state", Value: "done"}).Value(); got != 1 {
+		t.Errorf("jobs_completed_total{done} = %d, want 1", got)
+	}
+	if got := reg.Histogram("jobs_queue_wait_seconds", jobsWaitBuckets).Count(); got != 1 {
+		t.Errorf("jobs_queue_wait_seconds count = %d, want 1", got)
+	}
+}
+
+// TestChaosResumeBitwiseIdentical is the E2E recovery guarantee: a job
+// whose fleet loses a device mid-run is checkpointed, re-queued, resumed
+// by a different worker on a healthy pool — and its final potential grid
+// is bitwise-identical to the same job run without the failure.
+func TestChaosResumeBitwiseIdentical(t *testing.T) {
+	// Baseline: the same physics with no injected failure.
+	obsBase := obs.New()
+	base := New(Config{Workers: 2, Obs: obsBase})
+	bj, err := base.Submit(fleetSpec("baseline", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bst := waitDone(t, bj)
+	base.Close()
+	if bst.State != StateDone {
+		t.Fatalf("baseline state = %s (err %q)", bst.State, bst.Error)
+	}
+	baseRes := bj.Result()
+
+	// Chaos: device 1 dies during step 8 (mid-run: target step is 10).
+	observer := obs.New()
+	s := New(Config{Workers: 2, Obs: observer})
+	defer s.Close()
+	j, err := s.Submit(fleetSpec("chaos", "fail:dev=1,step=8,after=1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, j)
+	if st.State != StateDone {
+		t.Fatalf("chaos job state = %s (err %q), want DONE despite the failure", st.State, st.Error)
+	}
+	if st.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one failure, one resume)", st.Attempts)
+	}
+	if len(st.Workers) != 2 || st.Workers[0] == st.Workers[1] {
+		t.Fatalf("workers = %v, want the resume on a different worker", st.Workers)
+	}
+
+	res := j.Result()
+	if res.Attempts != 2 {
+		t.Errorf("result attempts = %d, want 2", res.Attempts)
+	}
+	if res.SHA256 != baseRes.SHA256 {
+		t.Fatalf("recovered grid differs from the uninterrupted run:\n  chaos    %s\n  baseline %s",
+			res.SHA256, baseRes.SHA256)
+	}
+	for i := range res.Data {
+		if res.Data[i] != baseRes.Data[i] {
+			t.Fatalf("grid differs at %d: %g vs %g", i, res.Data[i], baseRes.Data[i])
+		}
+	}
+
+	// The lifecycle must show the checkpoint and the resume.
+	var haveCheckpoint, haveResume bool
+	var states []State
+	for _, ev := range j.Events() {
+		switch ev.Type {
+		case "checkpoint":
+			haveCheckpoint = true
+		case "resume":
+			haveResume = true
+		case "state":
+			states = append(states, ev.State)
+		}
+	}
+	if !haveCheckpoint || !haveResume {
+		t.Errorf("lifecycle lacks checkpoint/resume events: checkpoint=%t resume=%t", haveCheckpoint, haveResume)
+	}
+	wantStates := []State{StateQueued, StateRunning, StateQueued, StateRunning, StateDone}
+	if len(states) != len(wantStates) {
+		t.Fatalf("state sequence = %v, want %v", states, wantStates)
+	}
+	for i := range wantStates {
+		if states[i] != wantStates[i] {
+			t.Fatalf("state sequence = %v, want %v", states, wantStates)
+		}
+	}
+	if got := observer.Reg.Counter("jobs_resumes_total").Value(); got != 1 {
+		t.Errorf("jobs_resumes_total = %d, want 1", got)
+	}
+	if got := observer.Reg.Counter("jobs_checkpoints_total").Value(); got == 0 {
+		t.Error("jobs_checkpoints_total = 0, want > 0")
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	// A zero-worker pool would be ideal; instead occupy the single worker
+	// with a long job so the second one stays queued.
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	long := smallSpec("long")
+	long.Steps = 50
+	blocker, err := s.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(smallSpec("queued"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := s.Cancel(queued.ID)
+	if err != nil || !changed {
+		t.Fatalf("Cancel(queued) = %t, %v", changed, err)
+	}
+	st := waitDone(t, queued)
+	if st.State != StateCancelled {
+		t.Fatalf("state = %s, want CANCELLED", st.State)
+	}
+	if st.Attempts != 0 {
+		t.Errorf("cancelled-from-queue job ran %d times", st.Attempts)
+	}
+	if changed, _ := s.Cancel(blocker.ID); !changed {
+		t.Error("cancel of the running blocker rejected")
+	}
+	bst := waitDone(t, blocker)
+	if bst.State != StateCancelled {
+		t.Fatalf("blocker state = %s, want CANCELLED at a step boundary", bst.State)
+	}
+	if bst.Step >= long.TargetStep() {
+		t.Errorf("blocker finished all %d steps despite cancellation", long.TargetStep())
+	}
+}
+
+func TestSubmitQuotaAndDeadline(t *testing.T) {
+	s := New(Config{Workers: 1, MaxQueuedPerTenant: 1})
+	defer s.Close()
+	long := smallSpec("blocker")
+	long.Steps = 50
+	blocker, err := s.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, blocker)
+	// One queued job fits the quota; the next is rejected.
+	if _, err := s.Submit(smallSpec("fits")); err != nil {
+		t.Fatalf("first queued job rejected: %v", err)
+	}
+	if _, err := s.Submit(smallSpec("over")); err == nil || !strings.Contains(err.Error(), "quota") {
+		t.Fatalf("Submit past quota = %v, want ErrQuota", err)
+	}
+	dead := smallSpec("dead")
+	dead.DeadlineSec = 0.000001
+	time.Sleep(time.Millisecond)
+	if _, err := s.Submit(dead); err == nil {
+		// Racy only in the impossible direction: the deadline math runs on
+		// the submit clock, so a microsecond deadline is always past.
+		t.Fatal("Submit with an expired deadline accepted")
+	}
+}
+
+func TestCloseCancelsQueuedJobs(t *testing.T) {
+	s := New(Config{Workers: 1})
+	long := smallSpec("long")
+	long.Steps = 50
+	if _, err := s.Submit(long); err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(smallSpec("queued"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel the blocker so Close does not wait half a minute.
+	s.Cancel(s.List()[0].ID)
+	s.Close()
+	if st := queued.State(); st != StateCancelled {
+		t.Fatalf("queued job after Close = %s, want CANCELLED", st)
+	}
+	if _, err := s.Submit(smallSpec("late")); err != ErrClosed {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestListOrder(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	names := []string{"a", "b", "c"}
+	for _, n := range names {
+		if _, err := s.Submit(smallSpec(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sts := s.List()
+	if len(sts) != len(names) {
+		t.Fatalf("List returned %d jobs, want %d", len(sts), len(names))
+	}
+	for i, st := range sts {
+		if st.Name != names[i] {
+			t.Errorf("List[%d] = %s, want submission order %v", i, st.Name, names)
+		}
+	}
+	for _, st := range sts {
+		waitDone(t, s.Get(st.ID))
+	}
+}

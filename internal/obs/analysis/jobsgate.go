@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// JobsBenchmarkName is the "benchmark" tag of a BENCH_jobs.json budget
+// file; the gate dispatches budget files on it.
+const JobsBenchmarkName = "jobs-control-plane"
+
+// JobsBaseline is the slice of BENCH_jobs.json the control-plane gate
+// reads: latency budgets for the jobs subsystem's spans in a serve trace.
+type JobsBaseline struct {
+	Benchmark string `json:"benchmark"`
+	// QueueWaitP95BudgetMs caps the p95 of the "jobs/queue-wait" span (the
+	// enqueue-to-dispatch latency) in milliseconds.
+	QueueWaitP95BudgetMs float64 `json:"queue_wait_p95_budget_ms"`
+}
+
+// ReadJobsBaseline parses a BENCH_jobs.json file.
+func ReadJobsBaseline(path string) (JobsBaseline, error) {
+	var b JobsBaseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Benchmark != JobsBenchmarkName {
+		return b, fmt.Errorf("%s: benchmark %q — not a BENCH_jobs.json?", path, b.Benchmark)
+	}
+	if b.QueueWaitP95BudgetMs <= 0 {
+		return b, fmt.Errorf("%s: missing queue_wait_p95_budget_ms", path)
+	}
+	return b, nil
+}
+
+// GateJobs checks the p95 of the trace's "jobs/queue-wait" spans against
+// the committed budget x (1 + maxRegress). The span is recorded once per
+// dispatch (enqueue to pop), so the p95 is the admission latency all but
+// the slowest jobs saw. A trace without the span returns an error — an
+// empty gate passing would be meaningless.
+func GateJobs(base JobsBaseline, stats []SpanStats, maxRegress float64) ([]GateResult, error) {
+	for _, s := range stats {
+		if s.Name != "jobs/queue-wait" || s.Count == 0 {
+			continue
+		}
+		p95 := s.Quantile(0.95)
+		if math.IsNaN(p95) {
+			// Degenerate histogram (all observations past the last finite
+			// bound); fall back to the hard max so the gate still judges.
+			p95 = s.MaxSec
+		}
+		limit := base.QueueWaitP95BudgetMs / 1e3 * (1 + maxRegress)
+		return []GateResult{{
+			Kernel:   "jobs",
+			Phase:    "queue-wait-p95",
+			Count:    s.Count,
+			MeanSec:  p95,
+			LimitSec: limit,
+			OK:       p95 <= limit,
+		}}, nil
+	}
+	return nil, fmt.Errorf("trace contains no jobs/queue-wait span — nothing to gate")
+}

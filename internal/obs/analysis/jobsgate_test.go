@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"beamdyn/internal/obs"
+)
+
+func writeJobsBaseline(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_jobs.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// queueWaitSpans builds n "jobs/queue-wait" spans of 1..n milliseconds.
+func queueWaitSpans(n int) []obs.Event {
+	var events []obs.Event
+	for i := 1; i <= n; i++ {
+		events = append(events, span("jobs/queue-wait", i, float64(i)*1e-3))
+	}
+	return events
+}
+
+func TestReadJobsBaseline(t *testing.T) {
+	path := writeJobsBaseline(t, `{"benchmark": "jobs-control-plane", "queue_wait_p95_budget_ms": 250}`)
+	b, err := ReadJobsBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.QueueWaitP95BudgetMs != 250 {
+		t.Fatalf("budget = %g, want 250", b.QueueWaitP95BudgetMs)
+	}
+
+	bad := writeJobsBaseline(t, `{"benchmark": "host-phases", "queue_wait_p95_budget_ms": 250}`)
+	if _, err := ReadJobsBaseline(bad); err == nil || !strings.Contains(err.Error(), "benchmark") {
+		t.Fatalf("wrong-benchmark file accepted: %v", err)
+	}
+	missing := writeJobsBaseline(t, `{"benchmark": "jobs-control-plane"}`)
+	if _, err := ReadJobsBaseline(missing); err == nil || !strings.Contains(err.Error(), "queue_wait_p95_budget_ms") {
+		t.Fatalf("budget-less file accepted: %v", err)
+	}
+}
+
+func TestGateJobsPassAndFail(t *testing.T) {
+	// 20 queue waits of 1..20ms: p95 (~19ms) is well under a 100ms budget.
+	stats := Aggregate(queueWaitSpans(20), nil)
+	base := JobsBaseline{Benchmark: JobsBenchmarkName, QueueWaitP95BudgetMs: 100}
+	res, err := GateJobs(base, stats, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || !res[0].OK {
+		t.Fatalf("fast queue failed the gate: %+v", res)
+	}
+	if res[0].Kernel != "jobs" || res[0].Phase != "queue-wait-p95" {
+		t.Fatalf("gate row mislabelled: %+v", res[0])
+	}
+
+	// The same trace against a 1ms budget must fail.
+	tight := JobsBaseline{Benchmark: JobsBenchmarkName, QueueWaitP95BudgetMs: 1}
+	res, err = GateJobs(tight, stats, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].OK {
+		t.Fatalf("19ms p95 passed a 1ms budget: %+v", res[0])
+	}
+}
+
+func TestGateJobsErrorsWithoutSpan(t *testing.T) {
+	base := JobsBaseline{Benchmark: JobsBenchmarkName, QueueWaitP95BudgetMs: 100}
+	var events []obs.Event
+	for i := 1; i <= 5; i++ {
+		events = append(events, span("advance/deposit", i, 1e-3))
+	}
+	if _, err := GateJobs(base, Aggregate(events, nil), 0); err == nil {
+		t.Fatal("gate passed on a trace with no jobs/queue-wait span")
+	}
+}
+
+func TestCommittedJobsBaselineParses(t *testing.T) {
+	b, err := ReadJobsBaseline("../../../BENCH_jobs.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.QueueWaitP95BudgetMs <= 0 {
+		t.Fatalf("committed budget = %g", b.QueueWaitP95BudgetMs)
+	}
+}

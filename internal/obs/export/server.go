@@ -82,22 +82,48 @@ type Server struct {
 	seen     bool
 	lastStep float64
 	lastMove time.Time
+
+	// muxOnce guards mux: each Server owns exactly one ServeMux (never the
+	// process-global http.DefaultServeMux), so parallel servers in one
+	// process — two tests, or a test and a live run — cannot collide on
+	// route registration, and extra routes Mounted before or after Start
+	// land on the same table Start serves.
+	muxOnce sync.Once
+	mux     *http.ServeMux
 }
 
-// Handler returns the server's route table.
+// initMux builds the server's route table exactly once.
+func (s *Server) initMux() {
+	s.muxOnce.Do(func() {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", s.handleMetrics)
+		mux.HandleFunc("/snapshot.json", s.handleSnapshot)
+		mux.HandleFunc("/healthz", s.handleHealthz)
+		mux.HandleFunc("/alerts", s.handleAlerts)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.HandleFunc("/", s.handleIndex)
+		s.mux = mux
+	})
+}
+
+// Handler returns the server's route table. Repeated calls return the
+// same mux, the one Start serves.
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/snapshot.json", s.handleSnapshot)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/alerts", s.handleAlerts)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/", s.handleIndex)
-	return mux
+	s.initMux()
+	return s.mux
+}
+
+// Mount registers an extra handler (e.g. the jobs control-plane API) on
+// the server's mux. Mounting the same pattern twice panics, as ServeMux
+// does. Safe before or after Start, but not concurrently with requests
+// already hitting the pattern space being modified.
+func (s *Server) Mount(pattern string, h http.Handler) {
+	s.initMux()
+	s.mux.Handle(pattern, h)
 }
 
 // Start listens on addr and serves in a background goroutine, returning

@@ -2,6 +2,7 @@ package export
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -361,6 +362,78 @@ func TestZeroServerServesEmptyDocuments(t *testing.T) {
 	if code, _, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
 		t.Fatalf("empty /healthz: code=%d", code)
 	}
+}
+
+func TestHandlerReturnsOwnedMux(t *testing.T) {
+	// The server owns exactly one mux: repeated Handler calls return it,
+	// and routes Mounted before or after the first Handler call land on it.
+	s := &Server{Obs: obs.New()}
+	if s.Handler() != s.Handler() {
+		t.Fatal("Handler built a fresh mux per call; Mounted routes would be lost")
+	}
+	s.Mount("/extra", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "extra")
+	}))
+	ts := testServer(t, s)
+	if code, body, _ := get(t, ts.URL+"/extra"); code != http.StatusOK || body != "extra" {
+		t.Fatalf("mounted route: code=%d body=%q", code, body)
+	}
+	if code, _, _ := get(t, ts.URL+"/metrics"); code != http.StatusOK {
+		t.Fatalf("built-in route lost after Mount: %d", code)
+	}
+}
+
+func TestParallelServersDoNotCollide(t *testing.T) {
+	// Two servers in one process, each with its own observer and its own
+	// mounted route: registrations must not leak across servers the way
+	// they would on the process-global default mux.
+	t.Parallel()
+	mk := func(name string, steps float64) (*Server, *httptest.Server) {
+		o := obs.New()
+		o.Reg.Gauge("sim_step").Set(steps)
+		s := &Server{Obs: o}
+		s.Mount("/who", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, name)
+		}))
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		return s, ts
+	}
+	_, tsA := mk("alpha", 1)
+	_, tsB := mk("beta", 2)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url, want, step := tsA.URL, "alpha", "sim_step 1"
+			if i%2 == 1 {
+				url, want, step = tsB.URL, "beta", "sim_step 2"
+			}
+			resp, err := http.Get(url + "/who")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if string(body) != want {
+				t.Errorf("GET %s/who = %q, want %q (mux shared across servers?)", url, body, want)
+			}
+			resp, err = http.Get(url + "/metrics")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			body, _ = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if !strings.Contains(string(body), step) {
+				t.Errorf("GET %s/metrics lacks %q (observer shared across servers?)", url, step)
+			}
+		}(i)
+	}
+	wg.Wait()
 }
 
 func TestStartBindsEphemeralPort(t *testing.T) {
