@@ -6,7 +6,9 @@
 //
 //	obstool summary trace.jsonl
 //	    Per-span aggregation: count, total, mean, p50/p95/p99 (histogram
-//	    quantile estimation over exponential duration buckets), max.
+//	    quantile estimation over exponential duration buckets), max. When
+//	    the trace carries host reference solves, appends the rp solver
+//	    cache section (tile-scratch and radial-memo reuse rates).
 //
 //	obstool timeline trace.jsonl
 //	    Per-step span timeline with proportional duration bars.
@@ -16,7 +18,8 @@
 //	    per-device busy time, mean utilization and lifecycle states.
 //
 //	obstool predictor trace.jsonl [-spike-factor 3] [-min-rate 0.001]
-//	    Predictor-quality series with fallback-spike detection.
+//	    Predictor-quality series with fallback-spike detection, plus the
+//	    rp solver cache section when the trace carries reference solves.
 //
 //	obstool diff old.jsonl new.jsonl [-max-regress 10%]
 //	    Compare two runs per span name. With -max-regress, exit 1 when
@@ -168,6 +171,9 @@ func runSummary(args []string) {
 		fatal(err)
 	}
 	fmt.Print(analysis.SummaryTable(analysis.Aggregate(events, nil)))
+	if t := analysis.RPCacheTable(analysis.RPCache(events)); t != "" {
+		fmt.Print("\n" + t)
+	}
 }
 
 func runTimeline(args []string) {
@@ -202,6 +208,9 @@ func runPredictor(args []string) {
 	points := analysis.PredictorSeries(events)
 	spikes := analysis.FallbackSpikes(points, *factor, *minRate)
 	fmt.Print(analysis.PredictorTable(points, spikes))
+	if t := analysis.RPCacheTable(analysis.RPCache(events)); t != "" {
+		fmt.Print("\n" + t)
+	}
 	if len(spikes) > 0 {
 		os.Exit(1)
 	}
@@ -263,6 +272,7 @@ func runGate(args []string) {
 	}
 	stats := analysis.Aggregate(events, nil)
 	var all []analysis.GateResult
+	checksOK := true
 	for _, bp := range budgets {
 		kind, err := analysis.ProbeBenchmark(bp)
 		if err != nil {
@@ -274,6 +284,14 @@ func runGate(args []string) {
 			base, err := analysis.ReadRPBaseline(bp)
 			if err != nil {
 				fatal(err)
+			}
+			// Committed-floor self-checks: the speedup floor and the
+			// per-worker scaling efficiency recorded in the baseline file.
+			if checks := analysis.CheckRPBaseline(base); len(checks) > 0 {
+				fmt.Printf("%s self-checks:\n%s\n", bp, analysis.RPCheckTable(checks))
+				if !analysis.RPChecksOK(checks) {
+					checksOK = false
+				}
 			}
 			if results, err = analysis.GateRP(base, stats, limit); err != nil {
 				fatal(fmt.Errorf("%s: %w", bp, err))
@@ -298,7 +316,7 @@ func runGate(args []string) {
 		all = append(all, results...)
 	}
 	fmt.Print(analysis.GateTable(all))
-	if !analysis.GateOK(all) {
+	if !analysis.GateOK(all) || !checksOK {
 		fmt.Println("\nperf regression gate FAILED")
 		os.Exit(1)
 	}

@@ -262,8 +262,18 @@ func (s *Simulation) Advance() int {
 		} else {
 			rsp := s.Obs.Span("reference/solve", step)
 			s.solver.Workers = s.Cfg.HostWorkers
+			if s.Obs != nil {
+				s.solver.Obs = s.Obs.Reg
+			}
 			s.solver.Solve(prob, pot, 0)
-			rsp.End(obs.I("points", pot.NX*pot.NY))
+			st := s.solver.LastStats()
+			rsp.End(obs.I("points", pot.NX*pot.NY),
+				obs.F("rp_tile_hits", float64(st.TileHits)),
+				obs.F("rp_tile_solves", float64(st.TileSolves)),
+				obs.F("rp_memo_reuse", float64(st.MemoHits)),
+				obs.F("rp_memo_probe", float64(st.MemoProbes)),
+				obs.I("rp_tile_w", st.TileW),
+				obs.I("rp_tile_h", st.TileH))
 			s.Last = nil
 		}
 		s.Potential = pot

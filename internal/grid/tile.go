@@ -1,0 +1,62 @@
+package grid
+
+import "fmt"
+
+// Tile is one rectangular block of a tiled grid decomposition: the points
+// (ix, iy) with IX0 <= ix < IX0+NX and IY0 <= iy < IY0+NY.
+type Tile struct {
+	IX0, IY0 int
+	NX, NY   int
+}
+
+// Points returns the number of grid points the tile covers.
+func (t Tile) Points() int { return t.NX * t.NY }
+
+// TileGrid is a rectangular tiling of an NX x NY point grid into blocks of
+// at most TW x TH points. Interior tiles are full TW x TH; the last column
+// and row of tiles absorb the remainder. Tiles are enumerated row-major
+// (tile row by tile row), so walking them in index order visits points in
+// a cache-blocked sweep: all points of one block before moving right, all
+// blocks of one band before moving up.
+type TileGrid struct {
+	NX, NY int // point extents
+	TW, TH int // tile extents (interior tiles)
+	XT, YT int // tile counts per axis
+}
+
+// NewTileGrid tiles an nx x ny point grid into tw x th blocks.
+func NewTileGrid(nx, ny, tw, th int) TileGrid {
+	if nx < 1 || ny < 1 {
+		panic(fmt.Sprintf("grid: invalid tile grid extents %dx%d", nx, ny))
+	}
+	if tw < 1 || th < 1 {
+		panic(fmt.Sprintf("grid: invalid tile shape %dx%d", tw, th))
+	}
+	if tw > nx {
+		tw = nx
+	}
+	if th > ny {
+		th = ny
+	}
+	return TileGrid{
+		NX: nx, NY: ny, TW: tw, TH: th,
+		XT: (nx + tw - 1) / tw,
+		YT: (ny + th - 1) / th,
+	}
+}
+
+// NumTiles returns the total number of tiles.
+func (tg TileGrid) NumTiles() int { return tg.XT * tg.YT }
+
+// At returns tile i of the row-major enumeration.
+func (tg TileGrid) At(i int) Tile {
+	tx, ty := i%tg.XT, i/tg.XT
+	t := Tile{IX0: tx * tg.TW, IY0: ty * tg.TH, NX: tg.TW, NY: tg.TH}
+	if t.IX0+t.NX > tg.NX {
+		t.NX = tg.NX - t.IX0
+	}
+	if t.IY0+t.NY > tg.NY {
+		t.NY = tg.NY - t.IY0
+	}
+	return t
+}

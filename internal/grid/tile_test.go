@@ -1,0 +1,99 @@
+package grid
+
+import "testing"
+
+// TestTileGridCoversEveryPointOnce walks every tile of assorted grid/tile
+// shape combinations — dividing, non-dividing, degenerate 1-wide and
+// oversized tiles — and checks the tiles partition the point set exactly.
+func TestTileGridCoversEveryPointOnce(t *testing.T) {
+	cases := []struct{ nx, ny, tw, th int }{
+		{32, 32, 8, 8},    // divides evenly
+		{33, 17, 8, 8},    // remainder column and row
+		{24, 24, 5, 7},    // neither axis divides
+		{8, 8, 32, 16},    // tile larger than grid -> clamped to one tile
+		{16, 1, 4, 4},     // single point row
+		{1, 16, 4, 4},     // single point column
+		{128, 96, 32, 16}, // the solver's default shape
+	}
+	for _, c := range cases {
+		tg := NewTileGrid(c.nx, c.ny, c.tw, c.th)
+		seen := make([]int, c.nx*c.ny)
+		for i := 0; i < tg.NumTiles(); i++ {
+			tl := tg.At(i)
+			if tl.NX < 1 || tl.NY < 1 {
+				t.Fatalf("%dx%d/%dx%d: tile %d is empty: %+v", c.nx, c.ny, c.tw, c.th, i, tl)
+			}
+			if tl.NX > tg.TW || tl.NY > tg.TH {
+				t.Fatalf("%dx%d/%dx%d: tile %d exceeds the tile shape: %+v", c.nx, c.ny, c.tw, c.th, i, tl)
+			}
+			if tl.Points() != tl.NX*tl.NY {
+				t.Fatalf("tile %d: Points() = %d, want %d", i, tl.Points(), tl.NX*tl.NY)
+			}
+			for iy := tl.IY0; iy < tl.IY0+tl.NY; iy++ {
+				for ix := tl.IX0; ix < tl.IX0+tl.NX; ix++ {
+					if ix < 0 || ix >= c.nx || iy < 0 || iy >= c.ny {
+						t.Fatalf("%dx%d/%dx%d: tile %d reaches outside the grid at (%d,%d)",
+							c.nx, c.ny, c.tw, c.th, i, ix, iy)
+					}
+					seen[iy*c.nx+ix]++
+				}
+			}
+		}
+		for j, n := range seen {
+			if n != 1 {
+				t.Fatalf("%dx%d/%dx%d: point (%d,%d) covered %d times, want once",
+					c.nx, c.ny, c.tw, c.th, j%c.nx, j/c.nx, n)
+			}
+		}
+	}
+}
+
+// TestTileGridRowMajorOrder pins the enumeration order the cache-blocked
+// sweep relies on: tile 0 is the origin block and consecutive indices move
+// right along a tile row before advancing to the next band.
+func TestTileGridRowMajorOrder(t *testing.T) {
+	tg := NewTileGrid(20, 20, 8, 8)
+	if tg.XT != 3 || tg.YT != 3 || tg.NumTiles() != 9 {
+		t.Fatalf("20x20/8x8: got %dx%d tiles", tg.XT, tg.YT)
+	}
+	want := []Tile{
+		{0, 0, 8, 8}, {8, 0, 8, 8}, {16, 0, 4, 8},
+		{0, 8, 8, 8}, {8, 8, 8, 8}, {16, 8, 4, 8},
+		{0, 16, 8, 4}, {8, 16, 8, 4}, {16, 16, 4, 4},
+	}
+	for i, w := range want {
+		if got := tg.At(i); got != w {
+			t.Fatalf("tile %d = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+// TestTileGridClampsOversizedShape checks that a tile shape larger than
+// the grid degrades to a single grid-sized tile rather than producing
+// out-of-range blocks.
+func TestTileGridClampsOversizedShape(t *testing.T) {
+	tg := NewTileGrid(6, 4, 32, 16)
+	if tg.TW != 6 || tg.TH != 4 || tg.NumTiles() != 1 {
+		t.Fatalf("6x4/32x16 = %+v, want one 6x4 tile", tg)
+	}
+	if tl := tg.At(0); tl != (Tile{0, 0, 6, 4}) {
+		t.Fatalf("tile 0 = %+v", tl)
+	}
+}
+
+// TestTileGridPanicsOnInvalid checks the constructor rejects impossible
+// extents instead of silently producing an empty tiling.
+func TestTileGridPanicsOnInvalid(t *testing.T) {
+	for _, c := range []struct{ nx, ny, tw, th int }{
+		{0, 4, 2, 2}, {4, 0, 2, 2}, {4, 4, 0, 2}, {4, 4, 2, -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewTileGrid(%d,%d,%d,%d) did not panic", c.nx, c.ny, c.tw, c.th)
+				}
+			}()
+			NewTileGrid(c.nx, c.ny, c.tw, c.th)
+		}()
+	}
+}

@@ -2,6 +2,8 @@ package hostpar
 
 import (
 	"runtime"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -150,5 +152,41 @@ func TestResize(t *testing.T) {
 	r2 := Resize(s, 32)
 	if len(r2) != 32 {
 		t.Fatal("Resize growth")
+	}
+}
+
+// Partition must preview For's decomposition exactly: same worker count
+// collapse, same (worker, lo, hi) triples, covering [0, n) contiguously.
+func TestPartitionMatchesFor(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 103, 1000} {
+		for _, w := range []int{1, 2, 3, 7, 8, 1001} {
+			var mu sync.Mutex
+			var got []Range
+			For(n, w, func(worker, lo, hi int) {
+				mu.Lock()
+				got = append(got, Range{Worker: worker, Lo: lo, Hi: hi})
+				mu.Unlock()
+			})
+			sort.Slice(got, func(i, j int) bool { return got[i].Worker < got[j].Worker })
+			want := Partition(n, w)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d w=%d: For ran %d ranges, Partition previews %d", n, w, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d w=%d: range %d: For %+v != Partition %+v", n, w, i, got[i], want[i])
+				}
+			}
+			prev := 0
+			for _, r := range want {
+				if r.Lo != prev || r.Hi < r.Lo {
+					t.Fatalf("n=%d w=%d: non-contiguous partition %+v", n, w, want)
+				}
+				prev = r.Hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d w=%d: partition ends at %d, want %d", n, w, prev, n)
+			}
+		}
 	}
 }

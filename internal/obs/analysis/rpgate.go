@@ -4,21 +4,42 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
+
+	"beamdyn/internal/obs"
 )
 
 // RPBenchmarkName is the "benchmark" tag cmd/benchrp writes into
 // BENCH_rp.json; the gate dispatches budget files on it.
 const RPBenchmarkName = "rp-core"
 
+// RPSolveRow is one per-worker-count full-grid solve row of BENCH_rp.json.
+// GoMaxProcs and NumCPU record the runtime state the row was measured
+// under: a scaling claim is only meaningful when the scheduler actually
+// had a core per worker, and the gate refuses to enforce one otherwise.
+type RPSolveRow struct {
+	Workers    int     `json:"workers"`
+	NsPerPoint float64 `json:"ns_per_point"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
 // RPBaseline is the slice of BENCH_rp.json the regression gate reads: the
-// committed per-point costs of the host rp-integral evaluation core.
+// committed per-point costs of the host rp-integral evaluation core plus
+// the per-worker scaling section.
 type RPBaseline struct {
-	Benchmark           string  `json:"benchmark"`
-	Grid                int     `json:"grid"`
-	ClosureNsPerPoint   float64 `json:"closure_ns_per_point"`
-	EvaluatorNsPerPoint float64 `json:"evaluator_ns_per_point"`
-	SolveNsPerPoint     float64 `json:"solve_ns_per_point"`
-	MinSpeedup          float64 `json:"min_speedup"`
+	Benchmark           string       `json:"benchmark"`
+	Grid                int          `json:"grid"`
+	SeedNsPerPoint      float64      `json:"seed_ns_per_point"`
+	ClosureNsPerPoint   float64      `json:"closure_ns_per_point"`
+	EvaluatorNsPerPoint float64      `json:"evaluator_ns_per_point"`
+	SpeedupVsSeed       float64      `json:"speedup_vs_seed"`
+	SolveNsPerPoint     float64      `json:"solve_ns_per_point"`
+	Solve               []RPSolveRow `json:"solve"`
+	MinSpeedup          float64      `json:"min_speedup"`
+	MinScaling          float64      `json:"min_scaling"`
+	ScalingWorkers      int          `json:"scaling_workers"`
 }
 
 // ReadRPBaseline parses a BENCH_rp.json file.
@@ -55,6 +76,171 @@ func ProbeBenchmark(path string) (string, error) {
 		return "", fmt.Errorf("%s: %w", path, err)
 	}
 	return probe.Benchmark, nil
+}
+
+// RPCheck is one committed-baseline self-check: the speedup floor or the
+// multi-core scaling efficiency recorded in BENCH_rp.json. Skipped checks
+// (scaling rows measured on a machine with fewer cores than workers) do
+// not fail the gate but are surfaced so a skip can never masquerade as a
+// pass.
+type RPCheck struct {
+	Name    string
+	Value   float64
+	Limit   float64
+	OK      bool
+	Skipped bool
+	Reason  string
+}
+
+// CheckRPBaseline validates the committed BENCH_rp.json against its own
+// recorded floors: speedup_vs_seed must meet min_speedup, and the solve
+// row at scaling_workers must show speedup_vs_1 of at least min_scaling.
+// The scaling check is enforced only when the row was measured with a
+// core per worker (num_cpu >= workers); otherwise it is reported as
+// skipped — parallel speedup on a timeshared core is not measurable, and
+// a gate that pretended otherwise would just institutionalize noise.
+func CheckRPBaseline(b RPBaseline) []RPCheck {
+	var out []RPCheck
+	if b.MinSpeedup > 0 {
+		out = append(out, RPCheck{
+			Name:  "speedup_vs_seed",
+			Value: b.SpeedupVsSeed,
+			Limit: b.MinSpeedup,
+			OK:    b.SpeedupVsSeed >= b.MinSpeedup,
+		})
+	}
+	if b.MinScaling > 0 && b.ScalingWorkers > 0 {
+		c := RPCheck{
+			Name:  fmt.Sprintf("scaling@%dw", b.ScalingWorkers),
+			Limit: b.MinScaling,
+		}
+		var row *RPSolveRow
+		for i := range b.Solve {
+			if b.Solve[i].Workers == b.ScalingWorkers {
+				row = &b.Solve[i]
+				break
+			}
+		}
+		switch {
+		case row == nil:
+			c.Reason = fmt.Sprintf("no solve row at %d workers", b.ScalingWorkers)
+		case row.NumCPU < b.ScalingWorkers:
+			c.Skipped = true
+			c.Value = row.SpeedupVs1
+			c.Reason = fmt.Sprintf("measured on %d CPU(s) — %d-worker scaling not measurable", row.NumCPU, b.ScalingWorkers)
+		case row.GoMaxProcs < b.ScalingWorkers:
+			c.Reason = fmt.Sprintf("row measured at GOMAXPROCS=%d — solve bench still pinned", row.GoMaxProcs)
+		default:
+			c.Value = row.SpeedupVs1
+			c.OK = row.SpeedupVs1 >= b.MinScaling
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// RPChecksOK reports whether every non-skipped check passed.
+func RPChecksOK(checks []RPCheck) bool {
+	for _, c := range checks {
+		if !c.Skipped && !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// RPCheckTable renders the baseline self-check verdicts.
+func RPCheckTable(checks []RPCheck) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %8s  %s\n", "check", "value", "floor", "verdict")
+	for _, c := range checks {
+		verdict := "ok"
+		switch {
+		case c.Skipped:
+			verdict = "SKIPPED: " + c.Reason
+		case !c.OK && c.Reason != "":
+			verdict = "FAILED: " + c.Reason
+		case !c.OK:
+			verdict = "FAILED"
+		}
+		fmt.Fprintf(&b, "%-16s %8.2f %8.2f  %s\n", c.Name, c.Value, c.Limit, verdict)
+	}
+	return b.String()
+}
+
+// RPCacheStats aggregates the rp-solver cache instrumentation that
+// internal/core attaches to every "reference/solve" span: tile-scratch
+// reuse, radial-memo reuse and the cache-block tile shape. Solves is the
+// number of instrumented spans seen; zero means the trace holds no host
+// reference solves and there is nothing to report.
+type RPCacheStats struct {
+	Solves       int
+	TileHits     float64
+	TileSolves   float64
+	MemoHits     float64
+	MemoProbes   float64
+	TileW, TileH int
+}
+
+// TileHitRate is the fraction of tile solves served from an
+// already-gathered scratch arena (the cross-tile plane-load saving).
+func (c RPCacheStats) TileHitRate() float64 {
+	if c.TileSolves == 0 {
+		return 0
+	}
+	return c.TileHits / c.TileSolves
+}
+
+// MemoHitRate is the fraction of radial-memo probes answered from cache.
+func (c RPCacheStats) MemoHitRate() float64 {
+	if c.MemoProbes == 0 {
+		return 0
+	}
+	return c.MemoHits / c.MemoProbes
+}
+
+// RPCache extracts the rp cache-instrumentation totals from a trace.
+func RPCache(events []obs.Event) RPCacheStats {
+	var c RPCacheStats
+	for _, e := range events {
+		if e.Name != "reference/solve" {
+			continue
+		}
+		probes, ok := attrFloat(e, "rp_memo_probe")
+		if !ok {
+			continue // span predates the cache instrumentation
+		}
+		c.Solves++
+		c.MemoProbes += probes
+		v, _ := attrFloat(e, "rp_memo_reuse")
+		c.MemoHits += v
+		v, _ = attrFloat(e, "rp_tile_hits")
+		c.TileHits += v
+		v, _ = attrFloat(e, "rp_tile_solves")
+		c.TileSolves += v
+		if w, ok := attrFloat(e, "rp_tile_w"); ok {
+			c.TileW = int(w)
+		}
+		if h, ok := attrFloat(e, "rp_tile_h"); ok {
+			c.TileH = int(h)
+		}
+	}
+	return c
+}
+
+// RPCacheTable renders the aggregated rp cache statistics, "" when the
+// trace carries none (so callers can print it unconditionally).
+func RPCacheTable(c RPCacheStats) string {
+	if c.Solves == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "rp solver cache (%d solve(s), tile %dx%d):\n", c.Solves, c.TileW, c.TileH)
+	fmt.Fprintf(&b, "  %-22s %12.0f / %.0f (%.1f%% reuse)\n",
+		"tile scratch hits", c.TileHits, c.TileSolves, 100*c.TileHitRate())
+	fmt.Fprintf(&b, "  %-22s %12.0f / %.0f (%.1f%% reuse)\n",
+		"radial memo hits", c.MemoHits, c.MemoProbes, 100*c.MemoHitRate())
+	return b.String()
 }
 
 // GateRP checks the trace's "reference/solve" span mean against the

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"beamdyn/internal/obs"
+)
+
+func rpBaseline() RPBaseline {
+	return RPBaseline{
+		Benchmark:      RPBenchmarkName,
+		Grid:           128,
+		SpeedupVsSeed:  6.5,
+		MinSpeedup:     6,
+		MinScaling:     1.6,
+		ScalingWorkers: 4,
+		Solve: []RPSolveRow{
+			{Workers: 1, NsPerPoint: 2000, GoMaxProcs: 1, NumCPU: 8, SpeedupVs1: 1},
+			{Workers: 4, NsPerPoint: 600, GoMaxProcs: 4, NumCPU: 8, SpeedupVs1: 3.33},
+		},
+	}
+}
+
+func findCheck(t *testing.T, checks []RPCheck, name string) RPCheck {
+	t.Helper()
+	for _, c := range checks {
+		if c.Name == name {
+			return c
+		}
+	}
+	t.Fatalf("no %q check in %+v", name, checks)
+	return RPCheck{}
+}
+
+// TestCheckRPBaselinePasses: a healthy baseline — speedup over floor,
+// scaling measured with a core per worker — passes both checks.
+func TestCheckRPBaselinePasses(t *testing.T) {
+	checks := CheckRPBaseline(rpBaseline())
+	if len(checks) != 2 {
+		t.Fatalf("got %d checks, want 2", len(checks))
+	}
+	for _, c := range checks {
+		if !c.OK || c.Skipped {
+			t.Fatalf("check %s = %+v, want ok", c.Name, c)
+		}
+	}
+	if !RPChecksOK(checks) {
+		t.Fatal("RPChecksOK = false for a passing baseline")
+	}
+}
+
+// TestCheckRPBaselineSpeedupFloor: a committed speedup below the floor
+// fails the gate.
+func TestCheckRPBaselineSpeedupFloor(t *testing.T) {
+	b := rpBaseline()
+	b.SpeedupVsSeed = 5.2
+	checks := CheckRPBaseline(b)
+	c := findCheck(t, checks, "speedup_vs_seed")
+	if c.OK || c.Skipped {
+		t.Fatalf("speedup check = %+v, want failed", c)
+	}
+	if RPChecksOK(checks) {
+		t.Fatal("RPChecksOK = true with the speedup floor broken")
+	}
+}
+
+// TestCheckRPBaselineScalingFloor: a 4-worker row measured with enough
+// cores but below the efficiency floor fails.
+func TestCheckRPBaselineScalingFloor(t *testing.T) {
+	b := rpBaseline()
+	b.Solve[1].SpeedupVs1 = 1.1
+	checks := CheckRPBaseline(b)
+	c := findCheck(t, checks, "scaling@4w")
+	if c.OK || c.Skipped {
+		t.Fatalf("scaling check = %+v, want failed", c)
+	}
+	if RPChecksOK(checks) {
+		t.Fatal("RPChecksOK = true with the scaling floor broken")
+	}
+}
+
+// TestCheckRPBaselineSkipsOnFewCPUs: a scaling row measured on fewer
+// cores than workers is skipped — surfaced, but not a failure — because
+// parallel speedup on a timeshared core is not measurable.
+func TestCheckRPBaselineSkipsOnFewCPUs(t *testing.T) {
+	b := rpBaseline()
+	b.Solve[1].NumCPU = 1
+	b.Solve[1].SpeedupVs1 = 0.99
+	checks := CheckRPBaseline(b)
+	c := findCheck(t, checks, "scaling@4w")
+	if !c.Skipped || c.OK {
+		t.Fatalf("scaling check = %+v, want skipped", c)
+	}
+	if !strings.Contains(c.Reason, "not measurable") {
+		t.Fatalf("skip reason %q does not explain itself", c.Reason)
+	}
+	if !RPChecksOK(checks) {
+		t.Fatal("a skipped scaling check must not fail the gate")
+	}
+	if !strings.Contains(RPCheckTable(checks), "SKIPPED") {
+		t.Fatal("table does not surface the skip")
+	}
+}
+
+// TestCheckRPBaselinePinnedRowFails: a row claiming N workers but measured
+// under GOMAXPROCS < N on a machine that HAS the cores is the exact bug
+// the satellite fixed (the solve bench pinned to one P) — it must fail,
+// not skip.
+func TestCheckRPBaselinePinnedRowFails(t *testing.T) {
+	b := rpBaseline()
+	b.Solve[1].GoMaxProcs = 1
+	checks := CheckRPBaseline(b)
+	c := findCheck(t, checks, "scaling@4w")
+	if c.OK || c.Skipped {
+		t.Fatalf("scaling check = %+v, want failed", c)
+	}
+	if !strings.Contains(c.Reason, "pinned") {
+		t.Fatalf("failure reason %q does not name the pinning", c.Reason)
+	}
+	if RPChecksOK(checks) {
+		t.Fatal("RPChecksOK = true for a pinned scaling row")
+	}
+}
+
+// TestCheckRPBaselineMissingRowFails: demanding scaling at a worker count
+// the file has no row for must fail loudly, not pass vacuously.
+func TestCheckRPBaselineMissingRowFails(t *testing.T) {
+	b := rpBaseline()
+	b.Solve = b.Solve[:1]
+	checks := CheckRPBaseline(b)
+	c := findCheck(t, checks, "scaling@4w")
+	if c.OK || c.Skipped {
+		t.Fatalf("scaling check = %+v, want failed", c)
+	}
+	if RPChecksOK(checks) {
+		t.Fatal("RPChecksOK = true with the scaling row missing")
+	}
+}
+
+// TestCheckRPBaselineLegacyFile: a baseline predating the scaling section
+// (no min_scaling) only runs the speedup check.
+func TestCheckRPBaselineLegacyFile(t *testing.T) {
+	b := rpBaseline()
+	b.MinScaling = 0
+	b.Solve = nil
+	checks := CheckRPBaseline(b)
+	if len(checks) != 1 || checks[0].Name != "speedup_vs_seed" {
+		t.Fatalf("legacy baseline checks = %+v, want speedup only", checks)
+	}
+}
+
+// TestRPCacheAggregation: the rp cache section sums the instrumentation
+// attrs core attaches to reference/solve spans, skips uninstrumented
+// spans, and reports sane hit rates.
+func TestRPCacheAggregation(t *testing.T) {
+	events := []obs.Event{
+		{Name: "advance", Kind: "span", Step: 0},
+		{Name: "reference/solve", Kind: "span", Step: 0}, // legacy: no attrs
+		{Name: "reference/solve", Kind: "span", Step: 1, Attrs: map[string]any{
+			"rp_tile_hits": 30.0, "rp_tile_solves": 32.0,
+			"rp_memo_reuse": 800.0, "rp_memo_probe": 1000.0,
+			"rp_tile_w": 32.0, "rp_tile_h": 16.0,
+		}},
+		{Name: "reference/solve", Kind: "span", Step: 2, Attrs: map[string]any{
+			"rp_tile_hits": 31.0, "rp_tile_solves": 32.0,
+			"rp_memo_reuse": 900.0, "rp_memo_probe": 1000.0,
+			"rp_tile_w": 32.0, "rp_tile_h": 16.0,
+		}},
+	}
+	c := RPCache(events)
+	if c.Solves != 2 {
+		t.Fatalf("Solves = %d, want 2 (legacy span must not count)", c.Solves)
+	}
+	if c.TileHits != 61 || c.TileSolves != 64 || c.MemoHits != 1700 || c.MemoProbes != 2000 {
+		t.Fatalf("totals = %+v", c)
+	}
+	if c.TileW != 32 || c.TileH != 16 {
+		t.Fatalf("tile shape = %dx%d, want 32x16", c.TileW, c.TileH)
+	}
+	if r := c.MemoHitRate(); r != 0.85 {
+		t.Fatalf("memo hit rate = %g, want 0.85", r)
+	}
+	table := RPCacheTable(c)
+	for _, want := range []string{"tile 32x16", "tile scratch hits", "radial memo hits", "85.0% reuse"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("cache table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestRPCacheTableEmpty: a trace with no instrumented solves renders
+// nothing, so obstool can print the section unconditionally.
+func TestRPCacheTableEmpty(t *testing.T) {
+	if s := RPCacheTable(RPCache([]obs.Event{{Name: "advance"}})); s != "" {
+		t.Fatalf("empty cache table = %q, want \"\"", s)
+	}
+	var zero RPCacheStats
+	if zero.TileHitRate() != 0 || zero.MemoHitRate() != 0 {
+		t.Fatal("zero-stats hit rates must be 0, not NaN")
+	}
+}

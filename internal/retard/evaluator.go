@@ -43,9 +43,10 @@ type subEval struct {
 	cx, cy     float64 // support-box centre
 	halfDiag   float64
 	// Point-lifetime (Bind).
-	dmin, dmax float64
-	center     float64
-	fullAlways bool // point inside the box: every radius sees the full circle
+	dmin, dmax  float64
+	center      float64
+	centerValid bool // center computed for the bound point (lazy Atan2)
+	fullAlways  bool // point inside the box: every radius sees the full circle
 	// Window-lifetime trig cache.
 	cacheValid bool
 	cacheT0    float64
@@ -80,6 +81,19 @@ type Evaluator struct {
 	// value per point would allocate a closure per call.
 	f quadrature.Func
 
+	// fullCos/fullSin are the cos/sin tables of the full-circle window
+	// [-π, π], which is the same for every point, subregion and step:
+	// near the bunch every radius takes it, so the table is built once
+	// per Reset instead of once per (point, subregion).
+	fullCos, fullSin [maxInnerPoints]float64
+
+	// prevSubW/prevWmode/prevNumSub are the radial-geometry stamp of the
+	// problem the evaluator was last Reset to; while they are unchanged
+	// the radial memo generation survives the Reset.
+	prevSubW   float64
+	prevWmode  weightMode
+	prevNumSub int
+
 	ws      quadrature.AdaptiveWorkspace
 	part    []float64
 	visible []bool
@@ -95,6 +109,51 @@ type Evaluator struct {
 	// accounting.
 	cache    [evalCacheSize]evalCacheEntry
 	cacheGen uint64
+
+	// fRaw is eval bound once at construction: the uncached integrand
+	// SolvePoint hands to the panel-value-reusing quadrature, which never
+	// probes the same radius twice within a point.
+	fRaw quadrature.Func
+
+	// rmemo is the radial memo: integrand factors that depend on the
+	// radius alone — the subregion index, the singular weight w(r), and
+	// the narrow-cone half-angle — keyed by the radius bits. Every grid
+	// point integrates the same subregion intervals [j·cΔt, (j+1)·cΔt]
+	// (R(p) is a multiple of cΔt), so adaptive refinement probes the same
+	// dyadic radius ladder at every point and the memo hits across
+	// points, tiles and (generation permitting) steps. rgen stamps the
+	// radial geometry (subW, weight mode, subregion count): Reset keeps
+	// it while the geometry is unchanged, so entries persist across
+	// steps; a geometry change invalidates every entry lazily. The
+	// half-angle additionally carries the per-subregion theta-window
+	// generation from boxGen, bumped whenever that subregion's support
+	// box moves (bend entry/exit), so window geometry changes can never
+	// serve a stale cone angle.
+	rmemo              []radialEntry
+	rgen               uint64
+	boxGen             []uint64
+	prevBoxes          []bbox
+	memoHits, memoMiss uint64
+}
+
+// radialMemoBits sizes the direct-mapped radial memo; 512 slots cover the
+// dyadic radius ladder of a deeply refined step with few collisions.
+const (
+	radialMemoBits = 9
+	radialMemoSize = 1 << radialMemoBits
+)
+
+// radialEntry is one memoized radius: the subregion containing it, the
+// radial weight, and (boxGen-stamped) the narrow-cone half angle of that
+// subregion's theta window.
+type radialEntry struct {
+	r       float64
+	gen     uint64
+	j       int32
+	hasHalf bool
+	boxGen  uint64
+	weight  float64
+	half    float64
 }
 
 // evalCacheBits sizes the direct-mapped radius cache; 256 slots cover the
@@ -116,6 +175,8 @@ type evalCacheEntry struct {
 func NewEvaluator(p *Problem) *Evaluator {
 	e := &Evaluator{}
 	e.f = e.Eval
+	e.fRaw = e.eval
+	e.rmemo = make([]radialEntry, radialMemoSize)
 	e.Reset(p)
 	return e
 }
@@ -133,6 +194,49 @@ func (e *Evaluator) Reset(p *Problem) {
 	e.cacheGen++ // memoized radii belong to the old problem (and gen 0 marks the zero-value cache invalid)
 	e.weights = p.Inner.AppendWeights(e.weights[:0])
 	n := p.NumSub()
+	// Radial-memo generation: the memoized subregion index and weight
+	// depend only on (subW, weight mode, subregion count), so while that
+	// stamp is unchanged — the steady state of a stepping simulation —
+	// the memo survives into the next step. Any change invalidates every
+	// entry lazily through the generation check.
+	if p.subW != e.prevSubW || p.wmode != e.prevWmode || n != e.prevNumSub || e.rgen == 0 {
+		e.rgen++
+		e.prevSubW, e.prevWmode, e.prevNumSub = p.subW, p.wmode, n
+	}
+	// Theta-window generations: the memoized narrow-cone half angle of
+	// subregion j depends on its support box; bump boxGen[j] whenever the
+	// box moved (a translating bunch, bend entry/exit) so stale cone
+	// angles can never be served. Generations start at 1 — a zero-valued
+	// memo entry never matches.
+	oldN := len(e.boxGen)
+	if cap(e.boxGen) < n {
+		bg := make([]uint64, n)
+		copy(bg, e.boxGen)
+		pb := make([]bbox, n)
+		copy(pb, e.prevBoxes)
+		e.boxGen, e.prevBoxes = bg, pb
+	}
+	e.boxGen = e.boxGen[:n]
+	e.prevBoxes = e.prevBoxes[:n]
+	for j := 0; j < n; j++ {
+		if j >= oldN || e.boxGen[j] == 0 || p.support[j] != e.prevBoxes[j] {
+			e.boxGen[j]++
+			if e.boxGen[j] == 0 {
+				e.boxGen[j] = 1
+			}
+			e.prevBoxes[j] = p.support[j]
+		}
+	}
+	// Full-circle trig tables, shared by every point: built with the
+	// identical expressions inner() uses for an explicit [-π, π] window.
+	if np := len(e.weights); np > 1 {
+		h := (math.Pi - (-math.Pi)) / float64(np-1)
+		for i := 0; i < np; i++ {
+			theta := -math.Pi + float64(i)*h
+			e.fullCos[i] = math.Cos(theta)
+			e.fullSin[i] = math.Sin(theta)
+		}
+	}
 	if cap(e.sub) < n {
 		e.sub = make([]subEval, n)
 	}
@@ -209,9 +313,10 @@ func (e *Evaluator) Bind(x, y float64, lane *gpusim.Lane) {
 		s.dmin, s.dmax = boxDistRange(x, y, b)
 		d := math.Hypot(s.cx-x, s.cy-y)
 		s.fullAlways = d <= s.halfDiag
-		if !s.fullAlways {
-			s.center = math.Atan2(s.cy-y, s.cx-x)
-		}
+		// center is computed lazily on the first narrow-cone window —
+		// subregions the quadrature never probes (or that always see the
+		// full circle) skip the Atan2 entirely.
+		s.centerValid = false
 	}
 }
 
@@ -232,6 +337,10 @@ func (e *Evaluator) window(j int, r float64) (t0, t1 float64, ok bool) {
 	half := math.Asin(sv) * 1.5
 	if half > math.Pi {
 		half = math.Pi
+	}
+	if !s.centerValid {
+		s.center = math.Atan2(s.cy-e.y, s.cx-e.x)
+		s.centerValid = true
 	}
 	return s.center - half, s.center + half, true
 }
@@ -255,11 +364,13 @@ func (e *Evaluator) Eval(r float64) float64 {
 	return e.eval(r)
 }
 
-// eval computes the integrand with no memoization.
+// eval computes the integrand with no per-point memoization; the
+// radius-only factors (subregion index, radial weight, cone half-angle)
+// are served from the cross-point radial memo.
 func (e *Evaluator) eval(r float64) float64 {
-	p := e.p
-	j := p.subregionOf(r)
-	t0, t1, ok := e.window(j, r)
+	ent := e.radial(r)
+	j := int(ent.j)
+	t0, t1, ok := e.windowMemo(j, r, ent)
 	if e.lane != nil {
 		e.lane.Flops(8) // window test
 	}
@@ -270,7 +381,63 @@ func (e *Evaluator) eval(r float64) float64 {
 	if e.lane != nil {
 		e.lane.Flops(2 * len(e.weights))
 	}
-	return p.Weight(r) * inner
+	return ent.weight * inner
+}
+
+// radial returns the memo entry for radius r, filling the subregion index
+// and radial weight on a miss. The stored weight is the exact float
+// Problem.Weight returns, so serving it from the memo cannot split the
+// evaluator from the closure reference; the memo is consulted on the lane
+// path too, because neither quantity carries simulated-lane accounting.
+func (e *Evaluator) radial(r float64) *radialEntry {
+	ent := &e.rmemo[(math.Float64bits(r)*0x9e3779b97f4a7c15)>>(64-radialMemoBits)]
+	if ent.gen == e.rgen && ent.r == r {
+		e.memoHits++
+		return ent
+	}
+	e.memoMiss++
+	*ent = radialEntry{r: r, gen: e.rgen, j: int32(e.p.subregionOf(r)), weight: e.p.Weight(r)}
+	return ent
+}
+
+// MemoStats returns (and with reset=true clears) the radial-memo hit and
+// miss counters — the instrumentation behind rp_memo_reuse_total.
+func (e *Evaluator) MemoStats(reset bool) (hits, misses uint64) {
+	hits, misses = e.memoHits, e.memoMiss
+	if reset {
+		e.memoHits, e.memoMiss = 0, 0
+	}
+	return hits, misses
+}
+
+// windowMemo is ThetaWindow for the bound point with the expensive
+// point-independent piece — the narrow-cone half angle asin(halfDiag/r) —
+// served from the radial memo while subregion j's support box generation
+// is unchanged. Same branches, same arithmetic, same results as window.
+func (e *Evaluator) windowMemo(j int, r float64, ent *radialEntry) (t0, t1 float64, ok bool) {
+	s := &e.sub[j]
+	if s.empty || r < s.dmin || r > s.dmax {
+		return 0, 0, false
+	}
+	if s.fullAlways || r <= s.halfDiag {
+		return -math.Pi, math.Pi, true
+	}
+	if !ent.hasHalf || ent.boxGen != e.boxGen[j] {
+		sv := s.halfDiag / r
+		if sv > 1 {
+			sv = 1
+		}
+		half := math.Asin(sv) * 1.5
+		if half > math.Pi {
+			half = math.Pi
+		}
+		ent.half, ent.boxGen, ent.hasHalf = half, e.boxGen[j], true
+	}
+	if !s.centerValid {
+		s.center = math.Atan2(s.cy-e.y, s.cx-e.x)
+		s.centerValid = true
+	}
+	return s.center - ent.half, s.center + ent.half, true
 }
 
 // inner is the Newton-Cotes angular integral with the 27-point stencil
@@ -294,7 +461,13 @@ func (e *Evaluator) inner(s *subEval, r, t0, t1 float64) float64 {
 
 	n := len(e.weights)
 	h := (t1 - t0) / float64(n-1)
-	if !s.cacheValid || s.cacheT0 != t0 || s.cacheT1 != t1 {
+	// The full-circle window [-π, π] is point-independent: serve it from
+	// the evaluator-wide table. Other windows use the subregion's cache,
+	// rebuilt only when the exact bounds change.
+	cosTab, sinTab := &s.cosTab, &s.sinTab
+	if t0 == -math.Pi && t1 == math.Pi {
+		cosTab, sinTab = &e.fullCos, &e.fullSin
+	} else if !s.cacheValid || s.cacheT0 != t0 || s.cacheT1 != t1 {
 		for i := 0; i < n; i++ {
 			theta := t0 + float64(i)*h
 			s.cosTab[i] = math.Cos(theta)
@@ -304,9 +477,38 @@ func (e *Evaluator) inner(s *subEval, r, t0, t1 float64) float64 {
 	}
 	var sum float64
 	lane := e.lane
+	if lane == nil {
+		// Host fast path: the same arithmetic in the same order with the
+		// per-read lane branches hoisted out, the 3x3 stencil loop
+		// unrolled, and the three temporal planes gathered in one call so
+		// the x-side weights stay in registers (sampleRow3Fast).
+		x, y := e.x, e.y
+		weights := e.weights
+		for i := 0; i < n; i++ {
+			sx := x + r*cosTab[i]
+			sy := y + r*sinTab[i]
+			var v float64
+			if s.sharedX {
+				fx := (sx - s.p0.x0) / s.p0.dx
+				ix := int(math.Round(fx))
+				if ix >= 1 && ix <= s.p0.nx-2 {
+					dx := fx - float64(ix)
+					v = sampleRow3Fast(s, ix,
+						0.5*(0.5-dx)*(0.5-dx), 0.75-dx*dx, 0.5*(0.5+dx)*(0.5+dx),
+						sy, wm, w0, wp)
+				}
+			} else {
+				v = wm*samplePlaneFast(&s.pm, sx, sy) +
+					w0*samplePlaneFast(&s.p0, sx, sy) +
+					wp*samplePlaneFast(&s.pp, sx, sy)
+			}
+			sum += weights[i] * v
+		}
+		return (t1 - t0) * sum
+	}
 	for i := 0; i < n; i++ {
-		sx := e.x + r*s.cosTab[i]
-		sy := e.y + r*s.sinTab[i]
+		sx := e.x + r*cosTab[i]
+		sy := e.y + r*sinTab[i]
 		var v float64
 		if s.sharedX {
 			// One x-side index/weight computation serves all three
@@ -327,12 +529,60 @@ func (e *Evaluator) inner(s *subEval, r, t0, t1 float64) float64 {
 				w0*e.samplePlane(&s.p0, sx, sy) +
 				wp*e.samplePlane(&s.pp, sx, sy)
 		}
-		if lane != nil {
-			lane.Flops(14) // trig, weights and temporal blend
-		}
+		lane.Flops(14) // trig, weights and temporal blend
 		sum += e.weights[i] * v
 	}
 	return (t1 - t0) * sum
+}
+
+// sampleRow3Fast blends the three temporal planes' row samples in one
+// call: v = wm*rowFast(pm) + w0*rowFast(p0) + wp*rowFast(pp) with the
+// identical association order the three-call form produces, the x-side
+// weights handed over in registers instead of through a stack array.
+func sampleRow3Fast(s *subEval, ix int, wx0, wx1, wx2, sy, wm, w0, wp float64) float64 {
+	return wm*rowFast(&s.pm, ix, wx0, wx1, wx2, sy) +
+		w0*rowFast(&s.p0, ix, wx0, wx1, wx2, sy) +
+		wp*rowFast(&s.pp, ix, wx0, wx1, wx2, sy)
+}
+
+// rowFast is the scalar-argument core of sampleRowFast.
+func rowFast(pl *plane, ix int, wx0, wx1, wx2, sy float64) float64 {
+	fy := (sy - pl.y0) / pl.dy
+	iy := int(math.Round(fy))
+	if iy < 1 || iy > pl.ny-2 {
+		return 0
+	}
+	dy := fy - float64(iy)
+	wy0 := 0.5 * (0.5 - dy) * (0.5 - dy)
+	wy1 := 0.75 - dy*dy
+	wy2 := 0.5 * (0.5 + dy) * (0.5 + dy)
+	row := (iy-1)*pl.nx + ix - 1
+	d0 := pl.data[row : row+3 : row+3]
+	d1 := pl.data[row+pl.nx : row+pl.nx+3 : row+pl.nx+3]
+	d2 := pl.data[row+2*pl.nx : row+2*pl.nx+3 : row+2*pl.nx+3]
+	var v float64
+	v += wy0 * wx0 * d0[0]
+	v += wy0 * wx1 * d0[1]
+	v += wy0 * wx2 * d0[2]
+	v += wy1 * wx0 * d1[0]
+	v += wy1 * wx1 * d1[1]
+	v += wy1 * wx2 * d1[2]
+	v += wy2 * wx0 * d2[0]
+	v += wy2 * wx1 * d2[1]
+	v += wy2 * wx2 * d2[2]
+	return v
+}
+
+// samplePlaneFast is samplePlane without lane accounting, unrolled the
+// same way.
+func samplePlaneFast(pl *plane, sx, sy float64) float64 {
+	fx := (sx - pl.x0) / pl.dx
+	ix := int(math.Round(fx))
+	if ix < 1 || ix > pl.nx-2 {
+		return 0
+	}
+	dx := fx - float64(ix)
+	return rowFast(pl, ix, 0.5*(0.5-dx)*(0.5-dx), 0.75-dx*dx, 0.5*(0.5+dx)*(0.5+dx), sy)
 }
 
 // sampleRow is samplePlane with the x-side stencil geometry precomputed by
@@ -437,7 +687,13 @@ func (e *Evaluator) SolvePoint(x, y float64) PointResult {
 		}
 		b := math.Min(a+p.subW, r)
 		var est quadrature.Estimate
-		est, part = e.ws.IntegrateInto(e.f, a, b, p.Tol, p.MaxDepth, part)
+		// The panel-value-reusing quadrature never probes a radius twice
+		// within one subregion, but adjacent subregions share a boundary
+		// radius (b_j == a_{j+1}): the memoizing Eval serves the second
+		// probe from the per-point cache. Eval is deterministic for the
+		// bound point, which is all IntegrateReuse requires for bitwise
+		// identity.
+		est, part = e.ws.IntegrateReuse(e.f, a, b, p.Tol, p.MaxDepth, part)
 		res.I += est.I
 		res.Err += est.Err
 		res.Evals += est.Evals
@@ -478,55 +734,4 @@ func (e *Evaluator) observedPattern(partition []float64) access.Pattern {
 		}
 	}
 	return pat
-}
-
-// GridSolver evaluates the rp-integral over whole grids on the
-// deterministic hostpar worker pool, with one persistent Evaluator per
-// worker. Rows are handed out in contiguous bands (worker w owns rows
-// [w*NY/W, (w+1)*NY/W)), so every worker walks its band in row-major order
-// — spatially adjacent points whose stencils overlap stay close in time —
-// and the output is bitwise identical for every worker count. The zero
-// value is ready to use.
-type GridSolver struct {
-	// Workers bounds the worker count; values <= 0 mean GOMAXPROCS.
-	Workers int
-
-	evals   []*Evaluator
-	results []PointResult
-}
-
-// Solve evaluates the rp-integral at every point of target and stores the
-// integral in component comp, returning the per-point results in
-// row-major order. The returned slice and the per-point Partition/Pattern
-// slices are owned by the solver and stay valid until its next Solve;
-// steady-state Solves allocate nothing beyond the pool fan-out.
-func (s *GridSolver) Solve(p *Problem, target *grid.Grid, comp int) []PointResult {
-	s.results = hostpar.Resize(s.results, target.NX*target.NY)
-	w := hostpar.Workers(s.Workers)
-	if w > target.NY {
-		w = target.NY
-	}
-	for len(s.evals) < w {
-		s.evals = append(s.evals, nil)
-	}
-	results := s.results
-	hostpar.For(target.NY, w, func(worker, lo, hi int) {
-		e := s.evals[worker]
-		if e == nil {
-			e = NewEvaluator(p)
-			s.evals[worker] = e
-		} else {
-			e.Reset(p)
-		}
-		e.ResetScratch()
-		for iy := lo; iy < hi; iy++ {
-			for ix := 0; ix < target.NX; ix++ {
-				x, y := target.Point(ix, iy)
-				res := e.SolvePoint(x, y)
-				results[iy*target.NX+ix] = res
-				target.Set(ix, iy, comp, res.I)
-			}
-		}
-	})
-	return results
 }
