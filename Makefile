@@ -1,10 +1,10 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race test-fleet-race test-alert-race test-jobs-race test-rp-race bench-obs bench-host bench-json bench-json-ci bench-rp bench-rp-scaling bench-rp-json obs-gate
+.PHONY: ci fmt vet build test race test-fleet-race test-alert-race test-jobs-race test-trace-race test-rp-race bench-obs bench-host bench-json bench-json-ci bench-rp bench-rp-scaling bench-rp-json obs-gate
 
 # The full local CI gate: what a PR must pass.
-ci: fmt vet build race test-fleet-race test-alert-race test-jobs-race test-rp-race bench-obs bench-host bench-json-ci bench-rp bench-rp-scaling obs-gate
+ci: fmt vet build race test-fleet-race test-alert-race test-jobs-race test-trace-race test-rp-race bench-obs bench-host bench-json-ci bench-rp bench-rp-scaling obs-gate
 
 # Formatting gate: fail (and list the offenders) if any file needs gofmt.
 fmt:
@@ -55,6 +55,19 @@ test-jobs-race:
 		-trace /tmp/jobs_gate_trace.jsonl \
 		-submit examples/scenarios/smooth-gaussian.json,examples/scenarios/halo-dominated.json,examples/scenarios/bunch-compression.json
 	$(GO) run ./cmd/obstool gate BENCH_jobs.json /tmp/jobs_gate_trace.jsonl
+
+# Distributed-tracing gate: race-check the span-context paths (concurrent
+# scoped tracers hammering one tracer's ID counters and sink), then run a
+# two-job oneshot serve with tracing on under the race detector and
+# reconstruct each job's causal tree with obstool — the context-propagation
+# chain (submit -> queue-wait -> run -> step -> kernels/fleet) end to end.
+test-trace-race:
+	$(GO) test -race -count=1 -run 'Trace|Scope|Span|Tree|Exemplar' \
+		./internal/obs/... ./internal/jobs/...
+	$(GO) run -race ./cmd/beamsim serve -http "" -oneshot \
+		-node ci -trace /tmp/trace_gate.jsonl \
+		-submit examples/scenarios/smooth-gaussian.json,examples/scenarios/halo-dominated.json
+	$(GO) run ./cmd/obstool tree /tmp/trace_gate.jsonl
 
 # Telemetry-overhead check: the disabled path must stay within 5% of the
 # uninstrumented kernel step, and the full incident layer (flight recorder

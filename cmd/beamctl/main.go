@@ -187,6 +187,9 @@ func printStatus(st jobs.Status) {
 	fmt.Printf("  step:     %d / %d\n", st.Step, st.TargetStep)
 	fmt.Printf("  attempts: %d (workers %v)\n", st.Attempts, st.Workers)
 	fmt.Printf("  waited:   %.3fs  ran: %.3fs\n", st.QueueWaitSec, st.RunSec)
+	if st.TraceID != "" {
+		fmt.Printf("  trace:    %s (obstool tree -job %s <trace>)\n", st.TraceID, st.ID)
+	}
 	if st.Error != "" {
 		fmt.Printf("  error:    %s\n", st.Error)
 	}

@@ -57,6 +57,7 @@ import (
 	"beamdyn/internal/obs/bundle"
 	"beamdyn/internal/obs/export"
 	"beamdyn/internal/obs/flight"
+	"beamdyn/internal/obs/runtimecol"
 )
 
 func main() {
@@ -87,6 +88,8 @@ func main() {
 		inject    = flag.String("inject", "", "scripted fleet health events, e.g. \"fail:dev=1,step=9,after=2;slow:dev=2,step=8,factor=3,until=12\" (implies -fleet)")
 
 		traceOut    = flag.String("trace", "", "write a JSONL span/event trace to this file")
+		node        = flag.String("node", "", "node label stamped as baggage on every traced span/event")
+		runtimeInt  = flag.Duration("runtime-interval", time.Second, "sample Go runtime telemetry (go_* gauges: heap, goroutines, GC pauses) at this period when telemetry is on (0 disables)")
 		metricsOut  = flag.String("metrics", "", "write an end-of-run metrics snapshot (JSON) to this file (\"-\" for stdout)")
 		obsInterval = flag.Int("obs-interval", 0, "print a predictor-quality summary every N steps (0 disables)")
 		httpAddr    = flag.String("http", "", "serve live telemetry on this address (e.g. :8080): /metrics, /snapshot.json, /healthz, /alerts, /debug/pprof")
@@ -166,6 +169,26 @@ func main() {
 		sim.Obs = observer
 	}
 
+	// Run-level trace scope: the whole run shares one trace ID, and -node
+	// (when given) rides as baggage on every span. A no-op (the same
+	// observer back) when tracing is off, so untraced runs are untouched.
+	runObs := observer
+	if observer != nil {
+		var baggage []obs.Attr
+		if *node != "" {
+			baggage = append(baggage, obs.S("node", *node))
+		}
+		runObs = observer.StartTrace(baggage...)
+		sim.Obs = runObs
+	}
+
+	// Runtime telemetry collector: go_* gauges and the GC-pause histogram,
+	// sampled on its own goroutine for the run's duration.
+	var rtc *runtimecol.Collector
+	if observer != nil && *runtimeInt > 0 {
+		rtc = runtimecol.Start(observer.Reg, *runtimeInt)
+	}
+
 	// The bundle writer is assigned after the alert engine below; the
 	// OnAlert callback closes over the variable and only runs once stepping
 	// starts, so the late assignment is safe.
@@ -224,7 +247,7 @@ func main() {
 			dev.AttachProfiler(prof)
 		}
 		if observer != nil {
-			dev.AttachRecorder(observer.GPURecorder())
+			dev.AttachRecorder(runObs.GPURecorder())
 		}
 		return dev
 	}
@@ -360,6 +383,9 @@ func main() {
 	if watchStop != nil {
 		close(watchStop)
 	}
+	// Final runtime sample, then stop the collector before the snapshot is
+	// rendered so the go_* gauges reflect end-of-run state.
+	rtc.Stop()
 	// An unrecovered device failure is an incident even when no alert rule
 	// watched for it: if the run ends with failed devices and nothing else
 	// dumped a bundle, dump one now.

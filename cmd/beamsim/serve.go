@@ -12,6 +12,7 @@ import (
 	"beamdyn/internal/obs"
 	"beamdyn/internal/obs/export"
 	"beamdyn/internal/obs/flight"
+	"beamdyn/internal/obs/runtimecol"
 )
 
 // runServe is the "beamsim serve" mode: a long-running job control plane
@@ -40,6 +41,8 @@ func runServe(args []string) {
 		submit          = fs.String("submit", "", "comma-separated JobSpec files to submit at startup")
 		oneshot         = fs.Bool("oneshot", false, "exit after the -submit jobs finish (requires -submit)")
 		staleAfter      = fs.Duration("stale-after", 0*time.Second, "/healthz reports stalled (503) when no step completes within this window (0 disables)")
+		node            = fs.String("node", "", "node label stamped as baggage on every job's traced spans")
+		runtimeInt      = fs.Duration("runtime-interval", time.Second, "sample Go runtime telemetry (go_* gauges) at this period (0 disables)")
 	)
 	fs.Parse(args)
 	if fs.NArg() > 0 {
@@ -71,9 +74,15 @@ func runServe(args []string) {
 		observer.Trace = obs.NewTracer(fwd)
 	}
 
+	var rtc *runtimecol.Collector
+	if *runtimeInt > 0 {
+		rtc = runtimecol.Start(observer.Reg, *runtimeInt)
+	}
+
 	js := jobs.New(jobs.Config{
 		Workers:            *workers,
 		Obs:                observer,
+		Node:               *node,
 		MaxQueuedPerTenant: *maxQueued,
 		CheckpointEvery:    *checkpointEvery,
 		MaxResumes:         *maxResumes,
@@ -126,6 +135,7 @@ func runServe(args []string) {
 		fmt.Println(line)
 	}
 	js.Close()
+	rtc.Stop()
 	if traceSink != nil {
 		if err := traceSink.Close(); err != nil {
 			log.Fatalf("trace sink: %v", err)

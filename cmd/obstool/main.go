@@ -17,6 +17,14 @@
 //	    Fleet scheduler accounting: bands dispatched/stolen/retried and
 //	    per-device busy time, mean utilization and lifecycle states.
 //
+//	obstool tree trace.jsonl [-job ID]
+//	    Causal span-tree reconstruction from trace/span/parent IDs: per
+//	    trace, the span hierarchy collapsed by name at each depth with
+//	    self/total time, orphan detection, and the critical path of the
+//	    longest root. Reads leniently — a truncated final line (a run
+//	    killed mid-write) is dropped with a warning instead of failing.
+//	    With -job, keeps only the spans carrying that job's baggage.
+//
 //	obstool predictor trace.jsonl [-spike-factor 3] [-min-rate 0.001]
 //	    Predictor-quality series with fallback-spike detection, plus the
 //	    rp solver cache section when the trace carries reference solves.
@@ -49,6 +57,7 @@ import (
 	"strconv"
 	"strings"
 
+	"beamdyn/internal/obs"
 	"beamdyn/internal/obs/analysis"
 )
 
@@ -59,6 +68,7 @@ commands:
   summary   trace.jsonl                  per-span aggregation (count, mean, p50/p95/p99, max)
   timeline  trace.jsonl                  per-step span timeline
   fleet     trace.jsonl                  per-device utilization and steal/retry accounting
+  tree      trace.jsonl                  causal span tree with self/total time and critical path
   predictor trace.jsonl                  predictor quality series + fallback spike detection
   diff      old.jsonl new.jsonl          compare two runs per span name
   postmortem bundle-dir                  triage summary of a post-mortem bundle
@@ -82,6 +92,8 @@ func main() {
 		runTimeline(args)
 	case "fleet":
 		runFleet(args)
+	case "tree":
+		runTree(args)
 	case "predictor":
 		runPredictor(args)
 	case "diff":
@@ -163,13 +175,33 @@ func collectMixed(fs *flag.FlagSet, args []string) []string {
 	}
 }
 
+// jobFlag registers the shared -job filter: keep only events carrying
+// that job ID's baggage attr (control-plane traces stamp one on every
+// descendant event of the job's trace).
+func jobFlag(fs *flag.FlagSet) *string {
+	return fs.String("job", "", "restrict to events carrying this job ID's baggage")
+}
+
+func filterJob(events []obs.Event, id string) []obs.Event {
+	if id == "" {
+		return events
+	}
+	out := analysis.FilterJob(events, id)
+	if len(out) == 0 {
+		fatal(fmt.Errorf("no events for job %q (is this a control-plane trace?)", id))
+	}
+	return out
+}
+
 func runSummary(args []string) {
 	fs := newFlagSet("summary", "trace.jsonl")
+	job := jobFlag(fs)
 	path := parseMixed(fs, args, 1)[0]
 	events, err := analysis.ReadTraceFile(path)
 	if err != nil {
 		fatal(err)
 	}
+	events = filterJob(events, *job)
 	fmt.Print(analysis.SummaryTable(analysis.Aggregate(events, nil)))
 	if t := analysis.RPCacheTable(analysis.RPCache(events)); t != "" {
 		fmt.Print("\n" + t)
@@ -178,22 +210,46 @@ func runSummary(args []string) {
 
 func runTimeline(args []string) {
 	fs := newFlagSet("timeline", "trace.jsonl")
+	job := jobFlag(fs)
 	path := parseMixed(fs, args, 1)[0]
 	events, err := analysis.ReadTraceFile(path)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(analysis.TimelineTable(analysis.Timeline(events)))
+	fmt.Print(analysis.TimelineTable(analysis.Timeline(filterJob(events, *job))))
 }
 
 func runFleet(args []string) {
 	fs := newFlagSet("fleet", "trace.jsonl")
+	job := jobFlag(fs)
 	path := parseMixed(fs, args, 1)[0]
 	events, err := analysis.ReadTraceFile(path)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(analysis.FleetStats(events).Table())
+	fmt.Print(analysis.FleetStats(filterJob(events, *job)).Table())
+}
+
+func runTree(args []string) {
+	fs := newFlagSet("tree", "trace.jsonl")
+	job := jobFlag(fs)
+	path := parseMixed(fs, args, 1)[0]
+	events, dropped, err := analysis.ReadTraceFileLenient(path)
+	if err != nil {
+		fatal(err)
+	}
+	if dropped {
+		fmt.Fprintln(os.Stderr, "obstool: dropped truncated final trace line (run killed mid-write?)")
+	}
+	events = filterJob(events, *job)
+	trees := analysis.BuildTrees(events)
+	if len(trees) == 0 {
+		fatal(fmt.Errorf("no spans with trace context in %s (trace written before span IDs, or tracing off?)", path))
+	}
+	if t0, ok := analysis.TraceT0(events); ok {
+		fmt.Printf("t0 %s\n", t0)
+	}
+	fmt.Print(analysis.TreeTable(trees))
 }
 
 func runPredictor(args []string) {

@@ -37,3 +37,21 @@ func benchAdvance(b *testing.B, incident bool) {
 
 func BenchmarkObsAdvanceBare(b *testing.B)     { benchAdvance(b, false) }
 func BenchmarkObsAdvanceIncident(b *testing.B) { benchAdvance(b, true) }
+
+// BenchmarkObsAdvanceTraceIDs is the span-context overhead bound: the full
+// step with tracing live AND per-span trace/span/parent IDs plus baggage
+// stamping (the scoped-observer path every control-plane job runs on).
+// Compare against BenchmarkObsAdvanceBare under the same < 5% budget.
+func BenchmarkObsAdvanceTraceIDs(b *testing.B) {
+	cfg := testConfig()
+	cfg.Beam.NumParticles = 5000
+	s := New(cfg)
+	o := obs.New()
+	o.Trace = obs.NewTracer(flight.New(flight.DefaultDepth, nil))
+	s.Obs = o.StartTrace(obs.S("job", "bench"), obs.S("tenant", "default"), obs.S("node", "bench-node"))
+	s.Warmup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Advance()
+	}
+}

@@ -233,8 +233,11 @@ func (s *Simulation) Advance() int {
 		t0 = time.Now()
 	}
 	stepSpan := s.Obs.Span("advance", step)
+	// Stage spans parent under the step span; with tracing off Scope
+	// returns s.Obs unchanged, so the registry path is identical.
+	ao := stepSpan.Scope()
 	// 1) Particle deposition (or its noiseless continuum limit).
-	sp := s.Obs.Span("advance/deposit", step)
+	sp := ao.Span("advance/deposit", step)
 	g := s.currentGrid()
 	if s.Cfg.Continuum {
 		cx, cy := s.Center()
@@ -246,21 +249,24 @@ func (s *Simulation) Advance() int {
 	sp.End(obs.I("dropped_total", s.dropped))
 
 	if s.Ready() {
-		// 2) Compute retarded potentials.
-		sp = s.Obs.Span("advance/potentials", step)
+		// 2) Compute retarded potentials. The kernel (or reference solver)
+		// runs under the potentials span's scope, so its sub-phase spans
+		// parent correctly in the causal tree.
+		sp = ao.Span("advance/potentials", step)
+		po := sp.Scope()
 		prob := retard.NewProblem(s.Hist, s.Params())
 		pot := grid.New(g.NX, g.NY, 1, g.X0, g.Y0, g.DX, g.DY)
 		pot.Step = step
 		if s.Algo != nil {
 			if ob, ok := s.Algo.(kernels.Observable); ok {
-				ob.SetObserver(s.Obs)
+				ob.SetObserver(po)
 			}
 			if hp, ok := s.Algo.(kernels.HostParallel); ok {
 				hp.SetHostWorkers(s.Cfg.HostWorkers)
 			}
 			s.Last = s.Algo.Step(prob, pot, 0)
 		} else {
-			rsp := s.Obs.Span("reference/solve", step)
+			rsp := po.Span("reference/solve", step)
 			s.solver.Workers = s.Cfg.HostWorkers
 			if s.Obs != nil {
 				s.solver.Obs = s.Obs.Reg
@@ -286,7 +292,7 @@ func (s *Simulation) Advance() int {
 		}
 
 		// 3) Compute self-forces by interpolating the potential gradient.
-		sp = s.Obs.Span("advance/forces", step)
+		sp = ao.Span("advance/forces", step)
 		s.Forces = s.computeForces(pot)
 		sp.End()
 	} else {
@@ -294,7 +300,7 @@ func (s *Simulation) Advance() int {
 	}
 
 	// 4) Push particles.
-	sp = s.Obs.Span("advance/push", step)
+	sp = ao.Span("advance/push", step)
 	if s.Cfg.Rigid {
 		// Rigid-bunch validation mode: the distribution translates at the
 		// design velocity without responding to the self-forces.

@@ -205,6 +205,7 @@ func (f *Fleet) Step(p *retard.Problem, target *grid.Grid, comp int) *kernels.St
 		queues:  queues,
 		pending: len(tasks),
 		alive:   make([]bool, n),
+		scope:   sp.Scope(),
 		rng:     rng.New(f.cfg.Seed ^ (uint64(target.Step)+1)*0x9e3779b97f4a7c15),
 	}
 	r.cond = sync.NewCond(&r.mu)
@@ -309,6 +310,7 @@ type fleetRun struct {
 	queues  [][]*bandTask
 	pending int
 	alive   []bool
+	scope   *obs.Observer // fleet/step span scope; band spans parent here
 	rng     *rng.Source
 	stolen  int
 	retried int
@@ -323,6 +325,14 @@ func (f *Fleet) worker(r *fleetRun, d int, p *retard.Problem, target *grid.Grid,
 		if t == nil {
 			return
 		}
+		// Each band executes under its own child span of fleet/step; the
+		// per-device kernel is re-scoped so its sub-phase spans parent
+		// under the band. Worker d is the only goroutine touching
+		// f.algos[d], so the re-scope is race-free.
+		bsp := r.scope.Span("fleet/band", r.step)
+		if ob, ok := f.algos[d].(kernels.Observable); ok {
+			ob.SetObserver(bsp.Scope())
+		}
 		var res *kernels.StepResult
 		err := f.mgr.ExecBand(d, func(dev *gpusim.Device) {
 			res = f.algos[d].Step(p, t.band, comp)
@@ -335,10 +345,14 @@ func (f *Fleet) worker(r *fleetRun, d int, p *retard.Problem, target *grid.Grid,
 			// The band's results (if any) are void: rebuild its grid so
 			// the retry starts clean, then hand it to a survivor.
 			t.band = bandGrid(target, t.lo, t.hi)
+			bsp.End(obs.I("device", d), obs.I("band", t.index),
+				obs.I("rows", t.hi-t.lo), obs.S("outcome", "failed"))
 			r.fail(d, t)
 			return
 		}
 		t.res = res
+		bsp.End(obs.I("device", d), obs.I("band", t.index),
+			obs.I("rows", t.hi-t.lo), obs.F("sim_sec", res.Metrics.Time))
 		r.done()
 	}
 }

@@ -124,6 +124,10 @@ type Status struct {
 	QueueWaitSec float64 `json:"queue_wait_sec"`
 	RunSec       float64 `json:"run_sec"`
 	HasResult    bool    `json:"has_result"`
+	// TraceID is the job's trace in the JSONL span stream (empty when the
+	// control plane runs without tracing); `obstool tree -job <id>`
+	// reconstructs the causal tree it names.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Job is one managed simulation run. All mutable state is guarded by mu;
@@ -170,6 +174,14 @@ type Job struct {
 	waitSpan obs.Span
 	enqueued time.Time
 	runStart time.Time
+
+	// scope is the job-scoped observer (fresh trace, job/tenant/node
+	// baggage) whose spans parent under root, the job's "jobs/job" root
+	// span; traceID names the trace in the JSONL stream. All are inert
+	// without tracing.
+	scope   *obs.Observer
+	root    obs.Span
+	traceID string
 }
 
 func newJob(id string, sp Spec, now time.Time) *Job {
@@ -245,6 +257,7 @@ func (j *Job) Status() Status {
 		QueueWaitSec: j.waitSec,
 		RunSec:       j.runSec,
 		HasResult:    j.result != nil,
+		TraceID:      j.traceID,
 	}
 	if !j.deadline.IsZero() {
 		d := j.deadline

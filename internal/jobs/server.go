@@ -39,6 +39,10 @@ type Config struct {
 	// instrumented devices); nil builds a Kepler K40 labelled
 	// "<job>-a<attempt>-dev<id>".
 	NewDevice func(j *Job, attempt, id int) *gpusim.Device
+	// Node labels this control plane's traces: when set, every per-job
+	// trace event carries a node=<Node> baggage attr, so JSONL streams
+	// merged across processes stay attributable.
+	Node string
 
 	// now stubs the clock for queue/deadline tests; nil means time.Now.
 	now func() time.Time
@@ -112,8 +116,10 @@ func (s *Server) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	for _, j := range s.q.drain() {
+		s.endWait(j)
 		j.transition(s.now(), StateCancelled, -1, "control plane shutdown")
 		s.counter("jobs_completed_total", obs.Label{Key: "state", Value: "cancelled"}).Inc()
+		s.endJob(j)
 	}
 	s.updateGauges()
 	s.wg.Wait()
@@ -136,8 +142,21 @@ func (s *Server) Submit(sp Spec) (*Job, error) {
 	// Become QUEUED (wait span running) before the job is poppable, so a
 	// fast worker can never observe it pre-QUEUED. A rejected job is simply
 	// discarded — it was never registered.
+	//
+	// The job gets its own trace: a scoped observer carrying job/tenant
+	// (and node) baggage, a "jobs/job" root span open until the terminal
+	// transition, and every descendant span — queue-wait, run, the
+	// simulation stages — parenting under it.
 	j.mu.Lock()
-	j.waitSpan = s.obs.Span("jobs/queue-wait", 0)
+	baggage := []obs.Attr{obs.S("job", id), obs.S("tenant", sp.Tenant)}
+	if s.cfg.Node != "" {
+		baggage = append(baggage, obs.S("node", s.cfg.Node))
+	}
+	sc := s.obs.StartTrace(baggage...)
+	j.root = sc.Span("jobs/job", 0)
+	j.scope = j.root.Scope()
+	j.traceID, _ = j.root.IDs()
+	j.waitSpan = j.scope.Span("jobs/queue-wait", 0)
 	j.mu.Unlock()
 	j.transition(s.now(), StateQueued, -1, "admitted")
 	if err := s.q.push(j); err != nil {
@@ -198,6 +217,7 @@ func (s *Server) Cancel(id string) (bool, error) {
 		j.transition(s.now(), StateCancelled, -1, "cancelled while queued")
 		s.counter("jobs_completed_total", obs.Label{Key: "state", Value: "cancelled"}).Inc()
 		s.event(j, "jobs/state", 0, obs.S("state", string(StateCancelled)))
+		s.endJob(j)
 		s.updateGauges()
 	}
 	return true, nil
@@ -213,7 +233,19 @@ func (s *Server) expireJob(j *Job) {
 	s.counter("jobs_completed_total", obs.Label{Key: "state", Value: "failed"}).Inc()
 	s.counter("jobs_deadline_expired_total").Inc()
 	s.event(j, "jobs/state", 0, obs.S("state", string(StateFailed)), obs.S("reason", "deadline"))
+	s.endJob(j)
 	s.updateGauges()
+}
+
+// endJob closes the job's root trace span; called exactly once, at the
+// terminal transition (the zero-span swap makes a stray second call a
+// no-op).
+func (s *Server) endJob(j *Job) {
+	j.mu.Lock()
+	root := j.root
+	j.root = obs.Span{}
+	j.mu.Unlock()
+	root.End(obs.S("state", string(j.State())))
 }
 
 // worker is one dispatch loop: pop, run, repeat until the queue closes.
@@ -228,16 +260,23 @@ func (s *Server) worker(id int) {
 	}
 }
 
-// endWait closes the job's queue-wait span and observes the wait.
+// endWait closes the job's queue-wait span and observes the wait; the
+// span's baggage already carries job/tenant. The worst recent wait keeps
+// its trace/span IDs as the histogram's exemplar.
 func (s *Server) endWait(j *Job) {
 	j.mu.Lock()
 	sp := j.waitSpan
 	j.waitSpan = obs.Span{}
 	enq := j.enqueued
 	j.mu.Unlock()
-	sp.End(obs.S("job", j.ID), obs.S("tenant", j.Spec.Tenant))
+	sp.End()
 	if !enq.IsZero() {
-		s.histogram("jobs_queue_wait_seconds").Observe(s.now().Sub(enq).Seconds())
+		wait := s.now().Sub(enq).Seconds()
+		if trace, span := sp.IDs(); span != "" {
+			s.histogram("jobs_queue_wait_seconds").ObserveExemplar(wait, trace, span)
+		} else {
+			s.histogram("jobs_queue_wait_seconds").Observe(wait)
+		}
 	}
 }
 
@@ -251,20 +290,25 @@ func (s *Server) runJob(w int, j *Job) {
 	s.event(j, "jobs/state", 0, obs.S("state", string(StateRunning)), obs.I("worker", w))
 	s.updateGauges()
 
+	// The run span is a child of the job's root; the attempt's simulation
+	// runs under the run span's scope with attempt/worker baggage, so
+	// every Advance-stage, fleet-band and solver span lands in the job's
+	// causal tree.
 	attempt := j.Attempts()
-	runSpan := s.obs.Span("jobs/run", attempt)
-	outcome, msg := s.runAttempt(w, j, attempt)
-	runSpan.End(obs.S("job", j.ID), obs.S("outcome", outcome), obs.I("worker", w))
+	runSpan := j.scope.Span("jobs/run", attempt)
+	ro := runSpan.Scope().WithBaggage(obs.I("attempt", attempt), obs.I("worker", w))
+	outcome, msg := s.runAttempt(w, j, attempt, ro)
+	runSpan.End(obs.S("outcome", outcome), obs.I("worker", w))
 
 	switch outcome {
 	case "requeue":
 		j.mu.Lock()
 		j.avoid = w
-		j.waitSpan = s.obs.Span("jobs/queue-wait", 0)
+		j.waitSpan = j.scope.Span("jobs/queue-wait", 0)
 		j.mu.Unlock()
 		j.transition(s.now(), StateQueued, w, msg)
 		s.counter("jobs_resumes_total").Inc()
-		s.event(j, "jobs/resume", 0, obs.S("job", j.ID), obs.S("reason", msg))
+		s.event(j, "jobs/resume", 0, obs.S("reason", msg))
 		if err := s.q.pushResume(j); err != nil {
 			j.transition(s.now(), StateFailed, w, "control plane closed during resume")
 			s.counter("jobs_completed_total", obs.Label{Key: "state", Value: "failed"}).Inc()
@@ -281,6 +325,9 @@ func (s *Server) runJob(w int, j *Job) {
 		s.counter("jobs_completed_total", obs.Label{Key: "state", Value: "failed"}).Inc()
 	}
 	s.event(j, "jobs/state", 0, obs.S("state", string(j.State())))
+	if j.State().Terminal() {
+		s.endJob(j)
+	}
 	s.updateGauges()
 }
 
@@ -289,7 +336,7 @@ func (s *Server) runJob(w int, j *Job) {
 // Kernel panics (a fleet that loses its last device panics by contract)
 // are recovered: with a checkpoint and resume budget left they convert to
 // a requeue, otherwise to a failure.
-func (s *Server) runAttempt(w int, j *Job, attempt int) (outcome, msg string) {
+func (s *Server) runAttempt(w int, j *Job, attempt int, ro *obs.Observer) (outcome, msg string) {
 	defer func() {
 		if r := recover(); r != nil {
 			if data, _ := j.checkpointData(); data != nil && attempt <= s.cfg.MaxResumes {
@@ -300,7 +347,7 @@ func (s *Server) runAttempt(w int, j *Job, attempt int) (outcome, msg string) {
 		}
 	}()
 
-	sim, fl, err := s.buildSim(j, attempt)
+	sim, fl, err := s.buildSim(j, attempt, ro)
 	if err != nil {
 		return "failed", err.Error()
 	}
@@ -314,7 +361,7 @@ func (s *Server) runAttempt(w int, j *Job, attempt int) (outcome, msg string) {
 		if step%s.cfg.ProgressEvery == 0 || step == target {
 			st := sim.Ensemble.Stats()
 			j.progress(s.now(), step, w, st.SigmaX, st.SigmaY)
-			s.event(j, "jobs/progress", step, obs.S("job", j.ID), obs.I("of", target))
+			ro.Event("jobs/progress", step, obs.I("of", target))
 		}
 		failedDevs := 0
 		if fl != nil {
@@ -362,8 +409,12 @@ func (s *Server) runAttempt(w int, j *Job, attempt int) (outcome, msg string) {
 
 // buildSim constructs the episode's simulation: from the latest
 // checkpoint when one exists, from the spec otherwise; then attaches the
-// kernel (and fleet) plus the per-job alert engine.
-func (s *Server) buildSim(j *Job, attempt int) (*core.Simulation, *fleet.Fleet, error) {
+// kernel (and fleet) plus the per-job alert engine. The run-scoped
+// observer ro becomes the simulation's Obs, so Advance-stage spans (and
+// the per-job devices' gpu_* metrics) land in the job's trace; telemetry
+// never touches the physics, so the result stays bitwise-identical to an
+// untraced run.
+func (s *Server) buildSim(j *Job, attempt int, ro *obs.Observer) (*core.Simulation, *fleet.Fleet, error) {
 	var sim *core.Simulation
 	data, ckStep := j.checkpointData()
 	if data != nil {
@@ -388,11 +439,16 @@ func (s *Server) buildSim(j *Job, attempt int) (*core.Simulation, *fleet.Fleet, 
 	// checkpoint is a resume and gets a fresh, healthy pool (the injection
 	// script models the original hardware, not the job).
 	algo, fl, err := j.Spec.BuildAlgo(func(id int) *gpusim.Device {
-		return newDev(j, attempt, id)
+		dev := newDev(j, attempt, id)
+		if s.obs != nil {
+			dev.AttachRecorder(ro.GPURecorder())
+		}
+		return dev
 	}, data == nil)
 	if err != nil {
 		return nil, nil, err
 	}
+	sim.Obs = ro
 	sim.Algo = algo
 	if fl != nil {
 		sim.DeviceCounts = fl.Counts
@@ -400,7 +456,7 @@ func (s *Server) buildSim(j *Job, attempt int) (*core.Simulation, *fleet.Fleet, 
 	if rules := j.Spec.AlertRules(); rules != nil {
 		sim.Alerts = alert.NewEngine(alert.Config{
 			Rules: rules,
-			Obs:   s.obs,
+			Obs:   ro,
 			OnAlert: func(a alert.Alert) {
 				j.event(s.now(), "alert", a.Step, -1, a.Message)
 				s.counter("jobs_alerts_total").Inc()
@@ -420,7 +476,7 @@ func (s *Server) checkpoint(j *Job, sim *core.Simulation, w int, reason string) 
 	j.setCheckpoint(sim.Step, buf.Bytes())
 	s.counter("jobs_checkpoints_total").Inc()
 	j.event(s.now(), "checkpoint", sim.Step, w, reason)
-	s.event(j, "jobs/checkpoint", sim.Step, obs.S("job", j.ID), obs.S("reason", reason),
+	s.event(j, "jobs/checkpoint", sim.Step, obs.S("reason", reason),
 		obs.I("bytes", buf.Len()))
 	return nil
 }
@@ -451,14 +507,12 @@ func (s *Server) histogram(name string) *obs.Histogram {
 	return s.obs.Reg.Histogram(name, jobsWaitBuckets)
 }
 
-// event emits a jobs/* trace event through the observer (flight recorder
-// and/or trace file).
+// event emits a jobs/* trace event through the job's scoped observer
+// (flight recorder and/or trace file): the scope's baggage supplies the
+// job/tenant/node attrs, so — unlike the old per-call append — the
+// disabled path allocates nothing.
 func (s *Server) event(j *Job, name string, step int, attrs ...obs.Attr) {
-	if s.obs == nil {
-		return
-	}
-	attrs = append(attrs, obs.S("job", j.ID), obs.S("tenant", j.Spec.Tenant))
-	s.obs.Event(name, step, attrs...)
+	j.scope.Event(name, step, attrs...)
 }
 
 // updateGauges refreshes the per-state job gauges and the queue depth.

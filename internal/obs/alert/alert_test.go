@@ -219,7 +219,7 @@ func TestEngineEmitsMetricsAndTrace(t *testing.T) {
 	for _, ev := range sink.Events() {
 		names = append(names, ev.Name)
 	}
-	if strings.Join(names, ",") != "alert,alert/resolved" {
+	if strings.Join(names, ",") != obs.MetaT0+",alert,alert/resolved" {
 		t.Fatalf("trace events = %v", names)
 	}
 }

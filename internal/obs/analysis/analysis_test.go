@@ -28,9 +28,13 @@ func TestReadTraceRoundTripsTracerOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(events) != 2 {
-		t.Fatalf("events = %d, want 2", len(events))
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3 (t0 header + span + event)", len(events))
 	}
+	if events[0].Name != obs.MetaT0 || events[0].Kind != "meta" {
+		t.Fatalf("t0 header wrong: %+v", events[0])
+	}
+	events = events[1:]
 	if events[0].Name != "advance/deposit" || events[0].Kind != "span" {
 		t.Fatalf("span wrong: %+v", events[0])
 	}

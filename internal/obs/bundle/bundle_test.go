@@ -222,7 +222,8 @@ func TestWriterCapAndLiveDump(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Reason != "stall" || m.Step != 3 || m.FlightEvents != 1 {
+	if m.Reason != "stall" || m.Step != 3 || m.FlightEvents != 2 {
+		// 2 = the tracer's t0 header + the advance span.
 		t.Fatalf("live manifest = %+v", m)
 	}
 

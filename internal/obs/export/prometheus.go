@@ -103,16 +103,25 @@ func (sr series) labels() map[string]string {
 // Observe bumps bucket and count as separate atomics, so a scrape racing
 // a writer could otherwise expose +Inf != _count and fail strict
 // exposition linters; deriving it keeps every scrape self-consistent.
+// A retained exemplar is appended in OpenMetrics syntax
+// (`# {trace_id="...",span_id="..."} value`) to the first bucket whose
+// upper bound covers the exemplar's value, so trace tooling can jump from
+// the worst recent observation straight to its span.
 func writeHistogram(w io.Writer, name string, h *obs.HistogramSnapshot) error {
+	exIdx := exemplarBucket(h)
 	var cum uint64
-	for _, b := range h.Buckets {
+	for i, b := range h.Buckets {
 		cum += b.Count
 		le := "+Inf"
 		if !math.IsInf(b.UpperBound, 1) {
 			le = formatFloat(b.UpperBound)
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-			name, labelStringExtra(h.Labels, "le", le), cum); err != nil {
+		suffix := ""
+		if i == exIdx {
+			suffix = exemplarSuffix(h.Exemplar)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			name, labelStringExtra(h.Labels, "le", le), cum, suffix); err != nil {
 			return err
 		}
 	}
@@ -121,6 +130,38 @@ func writeHistogram(w io.Writer, name string, h *obs.HistogramSnapshot) error {
 	}
 	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(h.Labels), cum)
 	return err
+}
+
+// exemplarBucket returns the index of the first bucket covering the
+// snapshot's exemplar value, or -1 when there is none.
+func exemplarBucket(h *obs.HistogramSnapshot) int {
+	if h.Exemplar == nil {
+		return -1
+	}
+	for i, b := range h.Buckets {
+		if h.Exemplar.Value <= b.UpperBound || math.IsInf(b.UpperBound, 1) {
+			return i
+		}
+	}
+	return -1
+}
+
+// exemplarSuffix renders the OpenMetrics exemplar tail for a bucket line.
+func exemplarSuffix(ex *obs.ExemplarSnapshot) string {
+	var b strings.Builder
+	b.WriteString(" # {")
+	if ex.Trace != "" {
+		fmt.Fprintf(&b, `trace_id="%s"`, escapeLabelValue(ex.Trace))
+	}
+	if ex.Span != "" {
+		if ex.Trace != "" {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `span_id="%s"`, escapeLabelValue(ex.Span))
+	}
+	b.WriteString("} ")
+	b.WriteString(formatFloat(ex.Value))
+	return b.String()
 }
 
 // labelString renders {k1="v1",k2="v2"} with keys sorted and values

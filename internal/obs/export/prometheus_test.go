@@ -108,6 +108,39 @@ func TestWritePrometheusHistogramSeries(t *testing.T) {
 	}
 }
 
+func TestWritePrometheusExemplar(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("steptime_seconds", []float64{0.01, 0.1}, obs.Label{Key: "stage", Value: "advance"})
+	h.Observe(0.005)
+	h.ObserveExemplar(0.05, "t-000001", "s-000042")
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The exemplar rides on the FIRST bucket covering its value (le=0.1),
+	// in OpenMetrics syntax.
+	want := `steptime_seconds_bucket{stage="advance",le="0.1"} 2 # {trace_id="t-000001",span_id="s-000042"} 0.05`
+	if !strings.Contains(out, want) {
+		t.Fatalf("missing exemplar line %q in:\n%s", want, out)
+	}
+	if n := strings.Count(out, "# {"); n != 1 {
+		t.Fatalf("exemplar suffix appears %d times, want 1:\n%s", n, out)
+	}
+	if strings.Contains(out, `le="0.01"} 1 #`) {
+		t.Fatalf("exemplar leaked onto a non-covering bucket:\n%s", out)
+	}
+
+	// Without IDs, no suffix appears anywhere.
+	r2 := obs.NewRegistry()
+	r2.Histogram("plain_seconds", []float64{1}).Observe(0.5)
+	var b2 strings.Builder
+	WritePrometheus(&b2, r2.Snapshot())
+	if strings.Contains(b2.String(), "# {") {
+		t.Fatalf("ID-less histogram grew an exemplar:\n%s", b2.String())
+	}
+}
+
 // lintPrometheus is a promtool-style validator for the text exposition
 // format: every line must be a TYPE comment or a parseable sample, each
 // name declares its TYPE exactly once before any sample, and histograms

@@ -96,11 +96,11 @@ func TestRecorderWriteJSONLFeedsAnalysis(t *testing.T) {
 	if err != nil {
 		t.Fatalf("flight dump not parseable by the trace analyzer: %v", err)
 	}
-	if len(events) != 6 {
-		t.Fatalf("round-tripped %d events, want 6", len(events))
+	if len(events) != 7 {
+		t.Fatalf("round-tripped %d events, want 7 (t0 header + 6)", len(events))
 	}
-	if events[1].Attrs["state"] != "failed" {
-		t.Fatalf("attrs lost in round trip: %+v", events[1])
+	if events[2].Attrs["state"] != "failed" {
+		t.Fatalf("attrs lost in round trip: %+v", events[2])
 	}
 }
 

@@ -7,8 +7,13 @@ import "beamdyn/internal/gpusim"
 // efficiency, global load efficiency, cache hit rates, DRAM traffic)
 // appear as labeled series next to the simulation's own telemetry. It
 // implements gpusim.Recorder; attach it with Device.AttachRecorder. A
-// bridge with a nil Reg is a no-op.
-type GPUBridge struct{ Reg *Registry }
+// bridge with a nil Reg is a no-op. A non-empty Trace (set by
+// Observer.GPURecorder on a scoped observer) is kept as an exemplar on the
+// worst recent gpu_launch_seconds observation.
+type GPUBridge struct {
+	Reg   *Registry
+	Trace string
+}
 
 // launchSecondsBuckets span simulated kernel times from microseconds to
 // the multi-second launches of the paper's largest grids.
@@ -29,5 +34,10 @@ func (b GPUBridge) Record(name string, m gpusim.Metrics) {
 	b.Reg.Gauge("gpu_global_load_efficiency", kl).Set(m.GlobalLoadEfficiency())
 	b.Reg.Gauge("gpu_l1_hit_rate", kl).Set(m.L1HitRate())
 	b.Reg.Gauge("gpu_l2_hit_rate", kl).Set(m.L2HitRate())
-	b.Reg.Histogram("gpu_launch_seconds", launchSecondsBuckets, kl).Observe(m.Time)
+	h := b.Reg.Histogram("gpu_launch_seconds", launchSecondsBuckets, kl)
+	if b.Trace != "" {
+		h.ObserveExemplar(m.Time, b.Trace, "")
+	} else {
+		h.Observe(m.Time)
+	}
 }

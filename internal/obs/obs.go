@@ -25,6 +25,14 @@ import (
 
 // Observer bundles the three telemetry components. Any field may be nil to
 // disable that component; a nil *Observer disables everything.
+//
+// An observer optionally carries a span context (see ScopedTracer): derived
+// observers returned by StartTrace, WithBaggage and Span.Scope share the
+// same Trace/Reg/Pred components but stamp every span and event they emit
+// with trace/parent IDs and baggage attrs, so a job's whole causal tree is
+// reconstructable from the JSONL stream. When tracing is disabled the
+// derivation methods return the receiver unchanged — scoping costs nothing
+// on the disabled path and never touches the physics.
 type Observer struct {
 	// Trace receives span and point events.
 	Trace *Tracer
@@ -32,6 +40,65 @@ type Observer struct {
 	Reg *Registry
 	// Pred collects per-step predictor-quality samples.
 	Pred *PredictorMonitor
+
+	scope *ScopedTracer
+}
+
+// ScopedTracer is the span context a derived observer carries: the trace
+// it belongs to, the span its children parent under, and baggage attrs
+// (job, tenant, attempt, node, ...) stamped on every descendant event.
+type ScopedTracer struct {
+	TraceID  string
+	ParentID string
+	Baggage  []Attr
+}
+
+// Scope returns the observer's span context (nil when unscoped).
+func (o *Observer) Scope() *ScopedTracer {
+	if o == nil {
+		return nil
+	}
+	return o.scope
+}
+
+// with returns a copy of o carrying sc; components are shared.
+func (o *Observer) with(sc *ScopedTracer) *Observer {
+	d := *o
+	d.scope = sc
+	return &d
+}
+
+// StartTrace returns a derived observer rooted in a fresh trace: spans it
+// creates with no enclosing span become roots of that trace, and baggage
+// is stamped on every descendant event. When tracing is disabled it
+// returns o unchanged (zero cost, nothing to stamp).
+func (o *Observer) StartTrace(baggage ...Attr) *Observer {
+	if !o.TraceEnabled() {
+		return o
+	}
+	sc := &ScopedTracer{TraceID: o.Trace.nextTraceID()}
+	if len(baggage) > 0 {
+		sc.Baggage = append([]Attr(nil), baggage...)
+	}
+	return o.with(sc)
+}
+
+// WithBaggage returns a derived observer whose events carry the extra
+// baggage attrs on top of any inherited ones; trace and parent context are
+// inherited. When tracing is disabled it returns o unchanged.
+func (o *Observer) WithBaggage(attrs ...Attr) *Observer {
+	if !o.TraceEnabled() || len(attrs) == 0 {
+		return o
+	}
+	sc := &ScopedTracer{}
+	if o.scope != nil {
+		*sc = *o.scope
+	}
+	bag := make([]Attr, 0, len(sc.Baggage)+len(attrs))
+	bag = append(bag, sc.Baggage...)
+	bag = append(bag, attrs...)
+	sc.Baggage = bag
+	return o.with(sc)
 }
 
 // New returns an observer with a live registry and predictor monitor and
@@ -62,37 +129,85 @@ func (o *Observer) Span(name string, step int) Span {
 	if o == nil || (o.Trace == nil && o.Reg == nil) {
 		return Span{}
 	}
-	return Span{o: o, name: name, step: step, t0: time.Now()}
+	s := Span{o: o, name: name, step: step, t0: time.Now()}
+	if o.Trace.Enabled() {
+		s.id = o.Trace.nextSpanID()
+		if sc := o.scope; sc != nil {
+			s.trace, s.parent = sc.TraceID, sc.ParentID
+		} else {
+			// Unscoped span: root of its own fresh trace.
+			s.trace = o.Trace.nextTraceID()
+		}
+	}
+	return s
 }
 
-// Event emits an instantaneous (zero-duration) trace event.
+// Event emits an instantaneous (zero-duration) trace event carrying the
+// observer's span context and baggage.
 func (o *Observer) Event(name string, step int, attrs ...Attr) {
 	if !o.TraceEnabled() {
 		return
 	}
-	o.Trace.emit(name, "event", step, 0, attrs)
+	var trace, parent string
+	var baggage []Attr
+	if sc := o.scope; sc != nil {
+		trace, parent, baggage = sc.TraceID, sc.ParentID, sc.Baggage
+	}
+	o.Trace.emitCtx(name, "event", step, 0, trace, "", parent, baggage, attrs)
 }
 
 // Span is an in-flight traced operation. The zero Span is inert.
 type Span struct {
-	o    *Observer
-	name string
-	step int
-	t0   time.Time
+	o      *Observer
+	name   string
+	step   int
+	t0     time.Time
+	trace  string
+	id     string
+	parent string
+}
+
+// IDs returns the span's trace and span IDs (empty when tracing is off).
+func (s Span) IDs() (trace, span string) { return s.trace, s.id }
+
+// Scope returns an observer whose spans and events become children of s,
+// inheriting s's trace and the creating observer's baggage. With tracing
+// disabled (or an inert span) it returns the creating observer unchanged,
+// so callers can scope unconditionally.
+func (s Span) Scope() *Observer {
+	if s.o == nil || s.id == "" {
+		return s.o
+	}
+	sc := &ScopedTracer{TraceID: s.trace, ParentID: s.id}
+	if p := s.o.scope; p != nil {
+		sc.Baggage = p.Baggage
+	}
+	return s.o.with(sc)
 }
 
 // End closes the span, recording its duration in the trace and the
-// registry. Extra attributes are attached to the trace event.
+// registry. Extra attributes are attached to the trace event. When the
+// span has IDs, the stage_seconds series keeps it as an exemplar if it is
+// the worst recent observation.
 func (s Span) End(attrs ...Attr) {
 	if s.o == nil {
 		return
 	}
 	dur := time.Since(s.t0).Seconds()
 	if s.o.Trace.Enabled() {
-		s.o.Trace.emit(s.name, "span", s.step, dur, attrs)
+		var baggage []Attr
+		if sc := s.o.scope; sc != nil {
+			baggage = sc.Baggage
+		}
+		s.o.Trace.emitCtx(s.name, "span", s.step, dur, s.trace, s.id, s.parent, baggage, attrs)
 	}
 	if s.o.Reg != nil {
-		s.o.Reg.Histogram("stage_seconds", StageSecondsBuckets, Label{"stage", s.name}).Observe(dur)
+		h := s.o.Reg.Histogram("stage_seconds", StageSecondsBuckets, Label{"stage", s.name})
+		if s.id != "" {
+			h.ObserveExemplar(dur, s.trace, s.id)
+		} else {
+			h.Observe(dur)
+		}
 	}
 }
 
@@ -103,11 +218,17 @@ var StageSecondsBuckets = ExpBuckets(1e-5, 4, 12)
 
 // GPURecorder returns a bridge that mirrors every simulated-GPU launch's
 // profiler counters into the registry (attach with Device.AttachRecorder).
+// On a scoped observer the bridge carries the trace ID, so the worst
+// recent gpu_launch_seconds observation keeps a trace exemplar.
 func (o *Observer) GPURecorder() GPUBridge {
 	if o == nil {
 		return GPUBridge{}
 	}
-	return GPUBridge{Reg: o.Reg}
+	b := GPUBridge{Reg: o.Reg}
+	if o.scope != nil {
+		b.Trace = o.scope.TraceID
+	}
+	return b
 }
 
 // RunSnapshot is the end-of-run document written by WriteSnapshot: the

@@ -58,11 +58,12 @@ func TestRecordPredictorFillsSampleAndSeries(t *testing.T) {
 		t.Fatalf("registry forecast error count = %d", n)
 	}
 
-	// Trace event emitted.
+	// Trace event emitted (after the t0 header).
 	evs := sink.Events()
-	if len(evs) != 1 || evs[0].Name != "predictor" || evs[0].Step != 7 {
+	if len(evs) != 2 || evs[1].Name != "predictor" || evs[1].Step != 7 {
 		t.Fatalf("trace events: %+v", evs)
 	}
+	evs = evs[1:]
 	if evs[0].Attrs["trained"] != true {
 		t.Fatalf("trained attr: %v", evs[0].Attrs)
 	}

@@ -194,7 +194,20 @@ type Histogram struct {
 	sumBits atomic.Uint64
 	name    string
 	labels  map[string]string
+
+	exMu    sync.Mutex
+	exOK    bool
+	exValue float64
+	exTrace string
+	exSpan  string
+	exAt    uint64
 }
+
+// exemplarMaxAge is how many observations an exemplar survives without
+// being beaten before any traced observation may replace it, so the
+// exported exemplar tracks the worst *recent* observation rather than the
+// all-time maximum of a long run.
+const exemplarMaxAge = 1024
 
 func newHistogram(name string, bounds []float64, labels []Label) *Histogram {
 	bs := make([]float64, len(bounds))
@@ -222,6 +235,36 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and, when it is the worst observation
+// seen recently (or the stored exemplar has aged out), keeps its trace and
+// span IDs as the series' exemplar. With empty IDs it degrades to Observe.
+func (h *Histogram) ObserveExemplar(v float64, trace, span string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if trace == "" && span == "" {
+		return
+	}
+	n := h.count.Load()
+	h.exMu.Lock()
+	if !h.exOK || v >= h.exValue || n-h.exAt > exemplarMaxAge {
+		h.exOK = true
+		h.exValue, h.exTrace, h.exSpan, h.exAt = v, trace, span, n
+	}
+	h.exMu.Unlock()
+}
+
+// Exemplar returns the stored exemplar, if any.
+func (h *Histogram) Exemplar() (v float64, trace, span string, ok bool) {
+	if h == nil {
+		return 0, "", "", false
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	return h.exValue, h.exTrace, h.exSpan, h.exOK
 }
 
 // Count returns the number of observations.
@@ -290,13 +333,22 @@ func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
 	return []byte(fmt.Sprintf(`{"le":%g,"count":%d}`, b.UpperBound, b.Count)), nil
 }
 
+// ExemplarSnapshot is a histogram series' retained exemplar: the worst
+// recent observation and the trace/span that produced it.
+type ExemplarSnapshot struct {
+	Value float64 `json:"value"`
+	Trace string  `json:"trace,omitempty"`
+	Span  string  `json:"span,omitempty"`
+}
+
 // HistogramSnapshot is one histogram series' state.
 type HistogramSnapshot struct {
-	Name    string            `json:"name"`
-	Labels  map[string]string `json:"labels,omitempty"`
-	Count   uint64            `json:"count"`
-	Sum     float64           `json:"sum"`
-	Buckets []BucketSnapshot  `json:"buckets"`
+	Name     string            `json:"name"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	Count    uint64            `json:"count"`
+	Sum      float64           `json:"sum"`
+	Buckets  []BucketSnapshot  `json:"buckets"`
+	Exemplar *ExemplarSnapshot `json:"exemplar,omitempty"`
 }
 
 // Mean returns the mean observed value (0 when empty).
@@ -380,6 +432,9 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, key := range sortedKeys(r.hists) {
 		h := r.hists[key]
 		hs := HistogramSnapshot{Name: h.name, Labels: h.labels, Count: h.Count(), Sum: h.Sum()}
+		if v, trace, span, ok := h.Exemplar(); ok {
+			hs.Exemplar = &ExemplarSnapshot{Value: v, Trace: trace, Span: span}
+		}
 		for i := range h.buckets {
 			ub := math.Inf(1)
 			if i < len(h.bounds) {

@@ -1,0 +1,105 @@
+// Package runtimecol samples the Go runtime — heap, goroutine counts, GC
+// pause behaviour — into go_* series in an obs.Registry, so GC stalls and
+// allocation storms can be correlated against the steptime anomalies the
+// alert engine watches. One collector goroutine samples at a fixed
+// interval; every surface that renders the registry (/metrics,
+// /snapshot.json, snapshot tables, post-mortem bundles) picks the series
+// up with no further wiring.
+package runtimecol
+
+import (
+	"runtime"
+	"time"
+
+	"beamdyn/internal/obs"
+)
+
+// GCPauseBuckets span GC stop-the-world pauses from 10µs to ~160ms.
+var GCPauseBuckets = obs.ExpBuckets(1e-5, 2, 15)
+
+// Collector periodically samples runtime.ReadMemStats into a registry.
+// A nil *Collector is inert, so Start's result can be used unconditionally.
+type Collector struct {
+	reg      *obs.Registry
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+
+	lastNumGC uint32
+}
+
+// Start begins sampling reg every interval. It returns nil (a no-op
+// collector) when reg is nil or interval <= 0. The first sample is taken
+// synchronously so short runs still export go_* series.
+func Start(reg *obs.Registry, interval time.Duration) *Collector {
+	if reg == nil || interval <= 0 {
+		return nil
+	}
+	c := &Collector{
+		reg:      reg,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	c.Sample()
+	go c.loop()
+	return c
+}
+
+func (c *Collector) loop() {
+	defer close(c.done)
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.Sample()
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// Stop takes a final sample and shuts the collector down. Safe on nil and
+// idempotent-unsafe (call once).
+func (c *Collector) Stop() {
+	if c == nil {
+		return
+	}
+	close(c.stop)
+	<-c.done
+	c.Sample()
+}
+
+// Sample takes one runtime snapshot into the registry.
+func (c *Collector) Sample() {
+	if c == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	c.reg.Gauge("go_goroutines").Set(float64(runtime.NumGoroutine()))
+	c.reg.Gauge("go_heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	c.reg.Gauge("go_heap_sys_bytes").Set(float64(ms.HeapSys))
+	c.reg.Gauge("go_heap_objects").Set(float64(ms.HeapObjects))
+	c.reg.Gauge("go_next_gc_bytes").Set(float64(ms.NextGC))
+	c.reg.Gauge("go_gc_cycles_total").Set(float64(ms.NumGC))
+	c.reg.Gauge("go_gc_pause_total_seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+
+	// Feed each GC pause completed since the last sample into the pause
+	// histogram via the runtime's 256-entry pause ring. If more than 256
+	// cycles ran between samples the overwritten ones are lost — the
+	// total-seconds gauge above still accounts for them.
+	h := c.reg.Histogram("go_gc_pause_seconds", GCPauseBuckets)
+	first := c.lastNumGC
+	if ms.NumGC > first+uint32(len(ms.PauseNs)) {
+		first = ms.NumGC - uint32(len(ms.PauseNs))
+	}
+	for i := first; i < ms.NumGC; i++ {
+		h.Observe(float64(ms.PauseNs[(i+255)%256]) / 1e9)
+	}
+	c.lastNumGC = ms.NumGC
+
+	c.reg.Counter("go_runtime_samples_total").Inc()
+}

@@ -1,0 +1,56 @@
+package runtimecol
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"beamdyn/internal/obs"
+)
+
+func TestSampleFillsRuntimeSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := Start(reg, time.Hour) // synchronous first sample; ticker never fires
+	defer c.Stop()
+
+	if v := reg.Gauge("go_goroutines").Value(); v < 1 {
+		t.Fatalf("go_goroutines = %g, want >= 1", v)
+	}
+	if v := reg.Gauge("go_heap_alloc_bytes").Value(); v <= 0 {
+		t.Fatalf("go_heap_alloc_bytes = %g, want > 0", v)
+	}
+	if n := reg.Counter("go_runtime_samples_total").Value(); n != 1 {
+		t.Fatalf("go_runtime_samples_total = %d, want 1", n)
+	}
+}
+
+func TestSampleObservesNewGCPauses(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := Start(reg, time.Hour)
+	before := reg.Histogram("go_gc_pause_seconds", GCPauseBuckets).Count()
+	runtime.GC()
+	runtime.GC()
+	c.Sample()
+	after := reg.Histogram("go_gc_pause_seconds", GCPauseBuckets).Count()
+	if after < before+2 {
+		t.Fatalf("pause observations %d -> %d, want at least 2 new", before, after)
+	}
+	// Re-sampling without new GC cycles must not double-count.
+	c.Sample()
+	if again := reg.Histogram("go_gc_pause_seconds", GCPauseBuckets).Count(); again != after {
+		t.Fatalf("idle re-sample changed pause count %d -> %d", after, again)
+	}
+	c.Stop()
+}
+
+func TestNilAndDisabledCollector(t *testing.T) {
+	var c *Collector
+	c.Sample()
+	c.Stop() // must not panic
+	if Start(nil, time.Second) != nil {
+		t.Fatal("Start with nil registry should return nil")
+	}
+	if Start(obs.NewRegistry(), 0) != nil {
+		t.Fatal("Start with zero interval should return nil")
+	}
+}

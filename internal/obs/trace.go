@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,14 +18,28 @@ var ErrSinkClosed = errors.New("obs: emit on closed sink")
 
 // Event is one trace record. Timestamps are seconds since the tracer was
 // created; Dur is the span duration in seconds (0 for point events).
+// Trace/Span/Parent carry the causal context: spans get all three (Parent
+// empty at a trace root), point events inherit Trace and Parent from the
+// scope they were emitted under. All three are empty on traces written
+// before span context existed, and on runs without a scoped observer.
 type Event struct {
-	TS    float64        `json:"ts"`
-	Name  string         `json:"name"`
-	Kind  string         `json:"kind"` // "span" | "event"
-	Step  int            `json:"step"`
-	Dur   float64        `json:"dur,omitempty"`
-	Attrs map[string]any `json:"attrs,omitempty"`
+	TS     float64        `json:"ts"`
+	Name   string         `json:"name"`
+	Kind   string         `json:"kind"` // "span" | "event" | "meta"
+	Step   int            `json:"step"`
+	Dur    float64        `json:"dur,omitempty"`
+	Trace  string         `json:"trace,omitempty"`
+	Span   string         `json:"span,omitempty"`
+	Parent string         `json:"parent,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
 }
+
+// MetaT0 is the name of the wall-clock header event every tracer emits as
+// its first record: Attrs["t0"] holds the tracer's creation time in
+// RFC3339Nano, anchoring the trace's relative timestamps so JSONL streams
+// from separate processes can be merged and aligned. Kind is "meta", which
+// every aggregation path ignores.
+const MetaT0 = "trace/t0"
 
 // Attr is one event attribute.
 type Attr struct {
@@ -54,9 +70,18 @@ type Sink interface {
 
 // Tracer timestamps events and forwards them to a sink. A nil *Tracer, or
 // one with a nil sink, drops everything at the cost of a nil check.
+//
+// Trace and span IDs are drawn from per-tracer atomic counters rather than
+// a random source, so two runs of the same scenario produce the same ID
+// sequence and traces stay replayable and diffable.
 type Tracer struct {
 	sink  Sink
 	start time.Time
+	wall  time.Time
+
+	traceSeq atomic.Uint64
+	spanSeq  atomic.Uint64
+	t0Once   sync.Once
 
 	mu  sync.Mutex
 	err error
@@ -64,7 +89,17 @@ type Tracer struct {
 
 // NewTracer returns a tracer writing to sink (nil sink disables it).
 func NewTracer(sink Sink) *Tracer {
-	return &Tracer{sink: sink, start: time.Now()}
+	return &Tracer{sink: sink, start: time.Now(), wall: time.Now()}
+}
+
+// nextTraceID returns a fresh deterministic trace ID ("t-000001", ...).
+func (t *Tracer) nextTraceID() string {
+	return fmt.Sprintf("t-%06d", t.traceSeq.Add(1))
+}
+
+// nextSpanID returns a fresh deterministic span ID ("s-000001", ...).
+func (t *Tracer) nextSpanID() string {
+	return fmt.Sprintf("s-%06d", t.spanSeq.Add(1))
 }
 
 // Enabled reports whether events reach a sink.
@@ -83,22 +118,50 @@ func (t *Tracer) Err() error {
 }
 
 func (t *Tracer) emit(name, kind string, step int, dur float64, attrs []Attr) {
+	t.emitCtx(name, kind, step, dur, "", "", "", nil, attrs)
+}
+
+// emitCtx is the full-context emit path: trace/span/parent IDs plus the
+// scope's baggage attrs, which are stamped first so explicit attrs win on
+// a key collision.
+func (t *Tracer) emitCtx(name, kind string, step int, dur float64, trace, span, parent string, baggage, attrs []Attr) {
 	if !t.Enabled() {
 		return
 	}
+	t.t0Once.Do(t.emitT0)
 	e := Event{
-		TS:   time.Since(t.start).Seconds(),
-		Name: name,
-		Kind: kind,
-		Step: step,
-		Dur:  dur,
+		TS:     time.Since(t.start).Seconds(),
+		Name:   name,
+		Kind:   kind,
+		Step:   step,
+		Dur:    dur,
+		Trace:  trace,
+		Span:   span,
+		Parent: parent,
 	}
-	if len(attrs) > 0 {
-		e.Attrs = make(map[string]any, len(attrs))
+	if n := len(baggage) + len(attrs); n > 0 {
+		e.Attrs = make(map[string]any, n)
+		for _, a := range baggage {
+			e.Attrs[a.Key] = a.Value
+		}
 		for _, a := range attrs {
 			e.Attrs[a.Key] = a.Value
 		}
 	}
+	t.send(e)
+}
+
+// emitT0 writes the wall-clock anchor as the trace's first record.
+func (t *Tracer) emitT0() {
+	t.send(Event{
+		TS:    time.Since(t.start).Seconds(),
+		Name:  MetaT0,
+		Kind:  "meta",
+		Attrs: map[string]any{"t0": t.wall.Format(time.RFC3339Nano)},
+	})
+}
+
+func (t *Tracer) send(e Event) {
 	if err := t.sink.Emit(e); err != nil {
 		t.mu.Lock()
 		if t.err == nil {
@@ -193,26 +256,63 @@ func (s *JSONLSink) Close() error {
 	return s.err
 }
 
+// DefaultMemorySinkCap bounds a zero-value MemorySink: large enough that
+// tests and short live runs never notice, small enough that a -obs-interval
+// view left running for days stops growing.
+const DefaultMemorySinkCap = 65536
+
 // MemorySink collects events in memory, mainly for tests and the
-// -obs-interval live view.
+// -obs-interval live view. It is a ring: once Cap events are held, each new
+// event evicts the oldest (like the flight recorder), so a long-lived sink
+// has bounded memory. The zero value is usable and uses
+// DefaultMemorySinkCap; set Cap before the first Emit to override.
 type MemorySink struct {
-	mu     sync.Mutex
-	events []Event
+	// Cap is the maximum number of retained events; <= 0 means
+	// DefaultMemorySinkCap. Read on the first Emit.
+	Cap int
+
+	mu    sync.Mutex
+	capN  int
+	buf   []Event
+	next  int
+	total uint64
 }
 
-// Emit implements Sink.
+// Emit implements Sink. The buffer grows on demand (a short test run never
+// pays for the full cap) up to capN, then wraps.
 func (s *MemorySink) Emit(e Event) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.events = append(s.events, e)
+	if s.capN == 0 {
+		s.capN = s.Cap
+		if s.capN <= 0 {
+			s.capN = DefaultMemorySinkCap
+		}
+	}
+	if len(s.buf) < s.capN {
+		s.buf = append(s.buf, e)
+	} else {
+		s.buf[s.next] = e
+		s.next = (s.next + 1) % s.capN
+	}
+	s.total++
 	return nil
 }
 
-// Events returns a copy of the collected events.
+// Events returns a copy of the retained events, oldest first.
 func (s *MemorySink) Events() []Event {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]Event, len(s.events))
-	copy(out, s.events)
+	out := make([]Event, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
 	return out
+}
+
+// Total returns the number of events ever emitted, including any evicted
+// by the ring.
+func (s *MemorySink) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
 }

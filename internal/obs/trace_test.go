@@ -31,9 +31,17 @@ func TestJSONLSinkEmitsValidLines(t *testing.T) {
 		}
 		events = append(events, e)
 	}
-	if len(events) != 2 {
-		t.Fatalf("events = %d, want 2", len(events))
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3 (t0 header + span + event)", len(events))
 	}
+	hdr := events[0]
+	if hdr.Name != MetaT0 || hdr.Kind != "meta" {
+		t.Fatalf("first record is not the t0 header: %+v", hdr)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, hdr.Attrs["t0"].(string)); err != nil {
+		t.Fatalf("t0 header is not RFC3339: %v", err)
+	}
+	events = events[1:]
 	span := events[0]
 	if span.Name != "advance/deposit" || span.Kind != "span" || span.Step != 3 {
 		t.Fatalf("span event wrong: %+v", span)
@@ -99,8 +107,36 @@ func TestMemorySink(t *testing.T) {
 	o.Event("a", 1)
 	o.Event("b", 2)
 	evs := sink.Events()
-	if len(evs) != 2 || evs[0].Name != "a" || evs[1].Step != 2 {
+	if len(evs) != 3 || evs[0].Name != MetaT0 || evs[1].Name != "a" || evs[2].Step != 2 {
 		t.Fatalf("memory sink events wrong: %+v", evs)
+	}
+}
+
+func TestMemorySinkRingEvictsOldestKeepsOrder(t *testing.T) {
+	sink := MemorySink{Cap: 4}
+	for i := 0; i < 10; i++ {
+		sink.Emit(Event{Name: "e", Step: i})
+	}
+	evs := sink.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want cap 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.Step != 6+i {
+			t.Fatalf("event %d has step %d, want %d (oldest-first order)", i, e.Step, 6+i)
+		}
+	}
+	if sink.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", sink.Total())
+	}
+	// A sink that never wraps returns everything in emit order.
+	roomy := MemorySink{Cap: 16}
+	for i := 0; i < 5; i++ {
+		roomy.Emit(Event{Step: i})
+	}
+	evs = roomy.Events()
+	if len(evs) != 5 || evs[0].Step != 0 || evs[4].Step != 4 {
+		t.Fatalf("unwrapped sink order wrong: %+v", evs)
 	}
 }
 
