@@ -1,0 +1,268 @@
+// Command benchgpu measures the simulated GPU device's replay engines
+// against each other: the zero-allocation streaming engine (the default)
+// versus the seed oracle engine it replaced, over representative kernel
+// workloads at a given grid scale. Costs are normalised to microseconds
+// per simulated warp instruction, the engines' Metrics are cross-checked
+// for exact equality on every measured launch, and the streaming engine's
+// steady-state heap allocations per Device.Run are counted. `make
+// bench-gpu-json` runs the committed 128x128-scale configuration and
+// refreshes BENCH_gpu.json; `make bench-gpu` runs the small -check
+// variant in CI, which enforces the speedup floor and the zero-allocation
+// contract through the same self-check logic the obstool gate applies to
+// the committed file.
+//
+// Usage:
+//
+//	benchgpu -grid 128 -reps 5 -out BENCH_gpu.json
+//	benchgpu -grid 48 -reps 3 -check -min-speedup 1.2 -out /tmp/bench_gpu_ci.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"beamdyn/internal/gpusim"
+	"beamdyn/internal/obs/analysis"
+)
+
+// workload is one representative kernel shape. The bodies mirror the
+// access patterns the beam-dynamics kernels produce: coalesced stride-1
+// sweeps over grid moments, trip-count divergence from adaptive
+// quadrature's per-point refinement depth, scattered gathers into the
+// retarded history, and broadcast-heavy reduction phases.
+type workload struct {
+	name   string
+	kernel gpusim.Kernel
+}
+
+func workloads(grid int) []workload {
+	return []workload{
+		{"stride1-moments", func(l *gpusim.Lane, b, th int) {
+			base := uintptr(b*grid*64 + th*8)
+			for u := 0; u < 4; u++ {
+				l.Begin(0)
+				l.Flops(12)
+				l.Load(base + uintptr(u*grid*8))
+				l.Load(base + uintptr((u+1)*grid*8))
+				l.Store(base + uintptr(u*grid*8))
+			}
+		}},
+		{"divergent-cone", func(l *gpusim.Lane, b, th int) {
+			depth := (b*31 + th*7) % 6
+			for u := 0; u <= depth; u++ {
+				l.Begin(u % 2)
+				l.Flops(20)
+				l.Load(uintptr(b*4096 + th*8 + u*1024))
+			}
+			l.Begin(8)
+			l.Store(uintptr(b*grid*8 + th*8))
+		}},
+		{"scattered-gather", func(l *gpusim.Lane, b, th int) {
+			l.Begin(0)
+			l.Flops(6)
+			for u := 0; u < 3; u++ {
+				idx := (th*2654435761 + u*40503 + b*97) % (grid * grid)
+				l.Load(uintptr(idx * 8))
+			}
+			l.Store(uintptr(b*grid*8 + th*8))
+		}},
+		{"broadcast-reduce", func(l *gpusim.Lane, b, th int) {
+			l.Begin(0)
+			l.Flops(4)
+			l.Load(uintptr(b * 8)) // per-block constant: whole warp, one line
+			l.Load(uintptr(th * 8))
+			l.Begin(1)
+			l.Flops(8)
+			l.Store(uintptr(b*grid*8 + th*8))
+		}},
+	}
+}
+
+// launchOf sizes one workload at the grid scale: grid^2 lanes in
+// 256-thread blocks (the paper's launch shape for NxN field grids).
+func launchOf(w workload, grid int) gpusim.Launch {
+	threads := grid * grid
+	tpb := 256
+	if threads < tpb {
+		tpb = threads
+	}
+	return gpusim.Launch{
+		Name:            w.name,
+		Blocks:          (threads + tpb - 1) / tpb,
+		ThreadsPerBlock: tpb,
+		Kernel:          w.kernel,
+	}
+}
+
+// report is the BENCH_gpu.json schema; the gate-facing fields mirror
+// analysis.GPUBaseline.
+type report struct {
+	Benchmark           string                  `json:"benchmark"`
+	Date                string                  `json:"date"`
+	Grid                int                     `json:"grid"`
+	Reps                int                     `json:"reps"`
+	GoMaxProcs          int                     `json:"gomaxprocs"`
+	NumCPU              int                     `json:"num_cpu"`
+	WarpInsts           uint64                  `json:"warp_insts"`
+	OracleUsPerWarpInst float64                 `json:"oracle_us_per_warp_inst"`
+	StreamUsPerWarpInst float64                 `json:"streaming_us_per_warp_inst"`
+	SpeedupVsSeed       float64                 `json:"speedup_vs_seed"`
+	AllocsPerLaunch     float64                 `json:"allocs_per_launch"`
+	Launches            []analysis.GPULaunchRow `json:"launches"`
+	MinSpeedup          float64                 `json:"min_speedup"`
+	MaxAllocsPerLaunch  float64                 `json:"max_allocs_per_launch"`
+}
+
+// measure times one launch on both engines, interleaving reps so machine
+// noise hits both alike, and returns each engine's fastest wall pass. Each
+// engine replays on its own warm device — devices replay the identical
+// launch every rep, so the cache steady state is the workload's own.
+func measure(l gpusim.Launch, reps int) (oracleSec, streamSec float64, warpInsts uint64) {
+	oracle := gpusim.New(gpusim.KeplerK40())
+	oracle.SetEngine(gpusim.EngineOracle)
+	stream := gpusim.New(gpusim.KeplerK40())
+
+	mo := oracle.Run(l) // warm-up, and the equivalence cross-check
+	ms := stream.Run(l)
+	if mo != ms {
+		log.Fatalf("%s: engines disagree on warm-up launch\noracle:    %+v\nstreaming: %+v", l.Name, mo, ms)
+	}
+	warpInsts = ms.IssuedWarpInsts
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	oracleSec, streamSec = math.Inf(1), math.Inf(1)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		oracle.Run(l)
+		if wall := time.Since(t0).Seconds(); wall < oracleSec {
+			oracleSec = wall
+		}
+		t0 = time.Now()
+		stream.Run(l)
+		if wall := time.Since(t0).Seconds(); wall < streamSec {
+			streamSec = wall
+		}
+	}
+	return oracleSec, streamSec, warpInsts
+}
+
+// measureAllocs reports the streaming engine's steady-state heap
+// allocations per Device.Run across the workload set (the committed
+// zero-allocation contract).
+func measureAllocs(launches []gpusim.Launch) float64 {
+	d := gpusim.New(gpusim.KeplerK40())
+	for _, l := range launches { // size arenas and goroutine scratch
+		d.Run(l)
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	const reps = 5
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for r := 0; r < reps; r++ {
+		for _, l := range launches {
+			d.Run(l)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(reps*len(launches))
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgpu: ")
+	var (
+		grid       = flag.Int("grid", 128, "grid scale (grid^2 simulated lanes per launch)")
+		reps       = flag.Int("reps", 5, "measurement repetitions")
+		out        = flag.String("out", "BENCH_gpu.json", "output file")
+		check      = flag.Bool("check", false, "enforce -min-speedup and -max-allocs (exit 1 on failure)")
+		minSpeedup = flag.Float64("min-speedup", 2, "required streaming-vs-oracle replay speedup in -check mode")
+		maxAllocs  = flag.Float64("max-allocs", 0, "allowed steady-state allocations per Device.Run in -check mode")
+	)
+	flag.Parse()
+
+	rep := report{
+		Benchmark:          analysis.GPUBenchmarkName,
+		Date:               time.Now().UTC().Format("2006-01-02"),
+		Grid:               *grid,
+		Reps:               *reps,
+		GoMaxProcs:         runtime.GOMAXPROCS(0),
+		NumCPU:             runtime.NumCPU(),
+		MinSpeedup:         *minSpeedup,
+		MaxAllocsPerLaunch: *maxAllocs,
+	}
+
+	var launches []gpusim.Launch
+	var oracleTotal, streamTotal float64
+	for _, w := range workloads(*grid) {
+		l := launchOf(w, *grid)
+		launches = append(launches, l)
+		oSec, sSec, insts := measure(l, *reps)
+		row := analysis.GPULaunchRow{
+			Name:                w.name,
+			WarpInsts:           insts,
+			OracleUsPerWarpInst: oSec * 1e6 / float64(insts),
+			StreamUsPerWarpInst: sSec * 1e6 / float64(insts),
+			Speedup:             oSec / sSec,
+		}
+		rep.Launches = append(rep.Launches, row)
+		rep.WarpInsts += insts
+		oracleTotal += oSec
+		streamTotal += sSec
+		fmt.Printf("%-18s %9d winsts  oracle=%.4fus/wi streaming=%.4fus/wi  %.2fx\n",
+			w.name, insts, row.OracleUsPerWarpInst, row.StreamUsPerWarpInst, row.Speedup)
+	}
+	rep.OracleUsPerWarpInst = oracleTotal * 1e6 / float64(rep.WarpInsts)
+	rep.StreamUsPerWarpInst = streamTotal * 1e6 / float64(rep.WarpInsts)
+	rep.SpeedupVsSeed = oracleTotal / streamTotal
+	rep.AllocsPerLaunch = measureAllocs(launches)
+	fmt.Printf("total: %d warp insts, oracle=%.4fus/wi streaming=%.4fus/wi speedup=%.2fx allocs=%.3f/launch\n",
+		rep.WarpInsts, rep.OracleUsPerWarpInst, rep.StreamUsPerWarpInst, rep.SpeedupVsSeed, rep.AllocsPerLaunch)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *check {
+		// The floors run through the same self-check logic the obstool gate
+		// applies to the committed file, so a report this binary writes can
+		// never pass here and fail there.
+		checks := analysis.CheckGPUBaseline(baselineOf(rep))
+		fmt.Print(analysis.RPCheckTable(checks))
+		if !analysis.RPChecksOK(checks) {
+			os.Exit(1)
+		}
+		fmt.Println("check passed")
+	}
+}
+
+// baselineOf maps the report onto the gate's baseline schema.
+func baselineOf(rep report) analysis.GPUBaseline {
+	return analysis.GPUBaseline{
+		Benchmark:           rep.Benchmark,
+		Grid:                rep.Grid,
+		OracleUsPerWarpInst: rep.OracleUsPerWarpInst,
+		StreamUsPerWarpInst: rep.StreamUsPerWarpInst,
+		SpeedupVsSeed:       rep.SpeedupVsSeed,
+		AllocsPerLaunch:     rep.AllocsPerLaunch,
+		Launches:            rep.Launches,
+		MinSpeedup:          rep.MinSpeedup,
+		MaxAllocsPerLaunch:  rep.MaxAllocsPerLaunch,
+	}
+}

@@ -352,6 +352,20 @@ func runGate(args []string) {
 			if results, err = analysis.GateRP(base, stats, limit); err != nil {
 				fatal(fmt.Errorf("%s: %w", bp, err))
 			}
+		case analysis.GPUBenchmarkName:
+			base, err := analysis.ReadGPUBaseline(bp)
+			if err != nil {
+				fatal(err)
+			}
+			// The GPU replay budget gates purely on its committed-floor
+			// self-checks (replay speedup vs the seed engine, allocations
+			// per launch): device replay has no trace span to re-measure
+			// here, so results stay empty.
+			checks := analysis.CheckGPUBaseline(base)
+			fmt.Printf("%s self-checks:\n%s\n", bp, analysis.RPCheckTable(checks))
+			if !analysis.RPChecksOK(checks) {
+				checksOK = false
+			}
 		case analysis.JobsBenchmarkName:
 			base, err := analysis.ReadJobsBaseline(bp)
 			if err != nil {

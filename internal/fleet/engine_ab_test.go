@@ -1,0 +1,38 @@
+package fleet
+
+import (
+	"testing"
+
+	"beamdyn/internal/gpusim"
+)
+
+// TestFleetEngineEquivalence closes the A/B matrix at the top of the
+// stack: a fleet-scheduled step produces bitwise-identical grid output and
+// ==-equal aggregated Metrics whichever replay engine its devices use.
+// The fleet runs one device so band execution order — and therefore the
+// warm-cache state each band sees — is deterministic; with several
+// devices, work stealing keys off wall-clock pacing and may legitimately
+// hand different bands to different devices between runs.
+func TestFleetEngineEquivalence(t *testing.T) {
+	p, target := fixture(8, 16)
+
+	run := func(engine gpusim.Engine) (*gpusim.Metrics, []float64) {
+		dev := gpusim.New(gpusim.KeplerK40())
+		dev.SetEngine(engine)
+		f := newTwoPhaseFleet(NewFixed([]*gpusim.Device{dev}), 4, 7)
+		tg := target.Clone()
+		res := f.Step(p, tg, 0)
+		return &res.Metrics, append([]float64(nil), tg.Data...)
+	}
+
+	sm, sdata := run(gpusim.EngineStreaming)
+	om, odata := run(gpusim.EngineOracle)
+	for i := range sdata {
+		if sdata[i] != odata[i] {
+			t.Fatalf("grid datum %d = %v streaming, %v oracle", i, sdata[i], odata[i])
+		}
+	}
+	if *sm != *om {
+		t.Fatalf("fleet Metrics diverge\nstreaming: %+v\noracle:    %+v", *sm, *om)
+	}
+}

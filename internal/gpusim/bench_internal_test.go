@@ -1,0 +1,65 @@
+package gpusim
+
+import "testing"
+
+func benchLaunch(grid int) Launch {
+	return Launch{
+		Name: "bench", Blocks: grid * grid / 256, ThreadsPerBlock: 256,
+		Kernel: func(l *Lane, b, th int) {
+			base := uintptr(b*grid*64 + th*8)
+			for u := 0; u < 4; u++ {
+				l.Begin(0)
+				l.Flops(12)
+				l.Load(base + uintptr(u*grid*8))
+				l.Load(base + uintptr((u+1)*grid*8))
+				l.Store(base + uintptr(u*grid*8))
+			}
+		},
+	}
+}
+
+func BenchmarkRunStreaming(b *testing.B) {
+	d := New(KeplerK40())
+	l := benchLaunch(128)
+	d.Run(l)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Run(l)
+	}
+}
+
+func BenchmarkRunOracle(b *testing.B) {
+	d := New(KeplerK40())
+	d.SetEngine(EngineOracle)
+	l := benchLaunch(128)
+	d.Run(l)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Run(l)
+	}
+}
+
+func scatterLaunch(grid int) Launch {
+	return Launch{
+		Name: "scatter", Blocks: grid * grid / 256, ThreadsPerBlock: 256,
+		Kernel: func(l *Lane, b, th int) {
+			l.Begin(0)
+			l.Flops(6)
+			for u := 0; u < 3; u++ {
+				idx := (th*2654435761 + u*40503 + b*97) % (grid * grid)
+				l.Load(uintptr(idx * 8))
+			}
+			l.Store(uintptr(b*grid*8 + th*8))
+		},
+	}
+}
+
+func BenchmarkScatterStreaming(b *testing.B) {
+	d := New(KeplerK40())
+	l := scatterLaunch(128)
+	d.Run(l)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Run(l)
+	}
+}

@@ -2,7 +2,7 @@ package gpusim
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 	"sync"
 )
 
@@ -25,14 +25,45 @@ type Launch struct {
 	ColdCaches bool
 }
 
+// Engine selects the replay implementation a Device runs.
+type Engine int
+
+const (
+	// EngineStreaming is the default: the zero-steady-state-allocation
+	// streaming replay (warp-granularity record-and-replay fusion,
+	// insertion-sorted kind and line ordering over reusable scratch,
+	// MRU-accelerated cache lookups).
+	EngineStreaming Engine = iota
+	// EngineOracle is the pre-streaming replay, kept callable as the
+	// equivalence oracle: the A/B suite proves both engines produce
+	// ==-equal Metrics for every kernel shape, and cmd/benchgpu measures
+	// the streaming engine's speedup against it.
+	EngineOracle
+)
+
 // Device is a simulated GPU. A Device is safe for sequential use; a single
 // Run call parallelises internally across simulated SMs.
 type Device struct {
 	cfg      Config
 	label    string
+	engine   Engine
 	sms      []*smState
+	wg       sync.WaitGroup
 	profiler *Profiler
 	recorder Recorder
+
+	// launch is the in-flight launch, published before the SM goroutines
+	// spawn and read by runSM. A field rather than a goroutine argument
+	// because `go f(args)` heap-allocates the argument frame; spawning the
+	// pre-built zero-argument closures in spawn allocates nothing.
+	launch Launch
+	spawn  []func()
+
+	// lineShift converts addresses to L1 lines with a shift when
+	// L1LineBytes is a power of two (every shipped config); -1 selects the
+	// division fallback. Equivalent by construction for power-of-two line
+	// sizes, so the oracle's plain division produces identical lines.
+	lineShift int
 }
 
 // SetLabel names the device for diagnostics (fleet registries label
@@ -41,6 +72,20 @@ func (d *Device) SetLabel(label string) { d.label = label }
 
 // Label returns the diagnostic name set with SetLabel ("" if unset).
 func (d *Device) Label() string { return d.label }
+
+// SetEngine selects the replay implementation. Devices default to
+// EngineStreaming; EngineOracle exists for equivalence tests and the
+// benchgpu baseline. Switching on a warm device resynchronizes the
+// streaming lookup's recency order from the LRU stamps, which the oracle
+// lookup advances without maintaining order — the engines then agree on
+// every future eviction.
+func (d *Device) SetEngine(e Engine) {
+	d.engine = e
+	for _, sm := range d.sms {
+		sm.l1.syncLRU()
+		sm.l2.syncLRU()
+	}
+}
 
 // Recorder receives the aggregated metrics of every kernel launch as it
 // completes. Profiler implements it; external telemetry layers (the obs
@@ -51,19 +96,89 @@ type Recorder interface {
 	Record(name string, m Metrics)
 }
 
+// ReplayRecorder is optionally implemented by a Recorder to additionally
+// receive the replay-engine statistics of each launch (the delta of
+// Device.ReplayStats across the Run call).
+type ReplayRecorder interface {
+	RecordReplay(name string, s ReplayStats)
+}
+
 // AttachRecorder makes the device forward every launch's metrics to r, in
 // addition to any attached profiler. Passing nil detaches.
 func (d *Device) AttachRecorder(r Recorder) { d.recorder = r }
 
+// ReplayStats counts replay-engine events: how much warp-level work the
+// device has replayed and how often the streaming fast paths fired. The
+// counters are cumulative across launches; Run reports per-launch deltas
+// to an attached ReplayRecorder.
+type ReplayStats struct {
+	// WarpInsts is the number of warp-level instruction slots replayed
+	// (the issue-slot count of Metrics, summed over every launch).
+	WarpInsts uint64
+	// MRUHits counts cache lookups answered by the last-line or MRU-way
+	// fast path instead of an associative scan.
+	MRUHits uint64
+	// SortFallbacks counts warp memory instructions whose lane addresses
+	// arrived out of line order, forcing the coalescer to actually sort
+	// (stride-1 and broadcast patterns take the presorted fast path).
+	SortFallbacks uint64
+	// LineShortCircuits counts warp memory instructions whose active
+	// lanes all touched one cache line, skipping coalescing entirely.
+	LineShortCircuits uint64
+}
+
+func (s ReplayStats) sub(o ReplayStats) ReplayStats {
+	return ReplayStats{
+		WarpInsts:         s.WarpInsts - o.WarpInsts,
+		MRUHits:           s.MRUHits - o.MRUHits,
+		SortFallbacks:     s.SortFallbacks - o.SortFallbacks,
+		LineShortCircuits: s.LineShortCircuits - o.LineShortCircuits,
+	}
+}
+
+// ReplayStats returns the cumulative replay statistics across every
+// launch since the device was created. Like Run, it is meant for
+// sequential use (call between launches, not concurrently with one).
+func (d *Device) ReplayStats() ReplayStats {
+	var s ReplayStats
+	for _, sm := range d.sms {
+		s.WarpInsts += sm.warpInsts
+		s.SortFallbacks += sm.sortFallbacks
+		s.LineShortCircuits += sm.lineHits
+		s.MRUHits += sm.l1.mruHits + sm.l2.mruHits
+	}
+	return s
+}
+
 // smState is the replay state owned by one simulated SM. L2 is partitioned
 // equally among SMs so SM replays are independent and deterministic.
+// Every slice below is allocated once at New and reused for the device's
+// lifetime: replaying a launch on a warm device performs zero heap
+// allocations (pinned by TestRunZeroSteadyStateAllocs).
 type smState struct {
 	l1, l2 *cache
 	m      Metrics
 	lanes  []*Lane
-	// scratch for coalescing
+	// scratch for coalescing (<= WarpSize entries per warp instruction)
 	addrs []uintptr
 	lines []uintptr
+	// scratch for divergent-kind grouping (<= WarpSize distinct kinds):
+	// members collects the lanes alive at step t, group one kind's subset
+	kinds   []uint16
+	members []*Lane
+	group   []*Lane
+	// loadSl/storeSl mirror members during replayGroup: each member's
+	// load/store address windows at unit step t, sliced once instead of
+	// re-deriving unit bounds per memory instruction
+	loadSl  [][]uintptr
+	storeSl [][]uintptr
+	// resident holds the current window's warps (<= ResidentWarps)
+	resident [][]*Lane
+
+	// replay statistics (owned by this SM's goroutine during Run)
+	warpInsts     uint64
+	sortFallbacks uint64
+	lineHits      uint64
 }
 
 // New creates a device with the given configuration.
@@ -72,21 +187,34 @@ func New(cfg Config) *Device {
 	if cfg.ResidentWarps < 1 {
 		cfg.ResidentWarps = 1
 	}
-	d := &Device{cfg: cfg, sms: make([]*smState, cfg.NumSMs)}
+	d := &Device{cfg: cfg, sms: make([]*smState, cfg.NumSMs), lineShift: -1}
+	if lb := cfg.L1LineBytes; lb&(lb-1) == 0 {
+		d.lineShift = bits.TrailingZeros(uint(lb))
+	}
 	l2PerSM := cfg.L2Bytes / cfg.NumSMs
 	if l2PerSM < cfg.L2LineBytes*cfg.L2Ways {
 		l2PerSM = cfg.L2LineBytes * cfg.L2Ways
 	}
 	for i := range d.sms {
 		sm := &smState{
-			l1:    newCache(cfg.L1Bytes, cfg.L1LineBytes, cfg.L1Ways),
-			l2:    newCache(l2PerSM, cfg.L2LineBytes, cfg.L2Ways),
-			lanes: make([]*Lane, cfg.WarpSize*cfg.ResidentWarps),
+			l1:       newCache(cfg.L1Bytes, cfg.L1LineBytes, cfg.L1Ways),
+			l2:       newCache(l2PerSM, cfg.L2LineBytes, cfg.L2Ways),
+			lanes:    make([]*Lane, cfg.WarpSize*cfg.ResidentWarps),
+			addrs:    make([]uintptr, 0, cfg.WarpSize),
+			lines:    make([]uintptr, 0, cfg.WarpSize),
+			kinds:    make([]uint16, 0, cfg.WarpSize),
+			members:  make([]*Lane, 0, cfg.WarpSize),
+			group:    make([]*Lane, 0, cfg.WarpSize),
+			loadSl:   make([][]uintptr, 0, cfg.WarpSize),
+			storeSl:  make([][]uintptr, 0, cfg.WarpSize),
+			resident: make([][]*Lane, 0, cfg.ResidentWarps),
 		}
 		for j := range sm.lanes {
 			sm.lanes[j] = &Lane{}
 		}
 		d.sms[i] = sm
+		smID := i
+		d.spawn = append(d.spawn, func() { d.runSM(smID) })
 	}
 	return d
 }
@@ -117,19 +245,15 @@ func (d *Device) Run(l Launch) Metrics {
 	if l.ColdCaches {
 		d.ResetCaches()
 	}
-	var wg sync.WaitGroup
+	statsBefore := d.ReplayStats()
+	d.launch = l
 	for smID := range d.sms {
-		sm := d.sms[smID]
-		sm.m = Metrics{warpSize: d.cfg.WarpSize}
-		wg.Add(1)
-		go func(smID int, sm *smState) {
-			defer wg.Done()
-			for block := smID; block < l.Blocks; block += d.cfg.NumSMs {
-				d.runBlock(sm, l, block)
-			}
-		}(smID, sm)
+		d.sms[smID].m = Metrics{warpSize: d.cfg.WarpSize}
+		d.wg.Add(1)
+		go d.spawn[smID]()
 	}
-	wg.Wait()
+	d.wg.Wait()
+	d.launch = Launch{}
 
 	total := Metrics{Kernels: 1, warpSize: d.cfg.WarpSize}
 	perSMPeak := d.cfg.PeakGflops * 1e9 / float64(d.cfg.NumSMs)
@@ -178,14 +302,45 @@ func (d *Device) Run(l Launch) Metrics {
 	}
 	if d.recorder != nil {
 		d.recorder.Record(l.Name, total)
+		if rr, ok := d.recorder.(ReplayRecorder); ok {
+			rr.RecordReplay(l.Name, d.ReplayStats().sub(statsBefore))
+		}
 	}
 	return total
 }
 
-// runBlock traces and replays one thread block on an SM. Warps are
-// processed in windows of ResidentWarps whose unit execution interleaves
-// round-robin, so the window's combined working set contends for the SM's
-// caches the way concurrently resident warps do on hardware.
+// runSM replays one SM's share of the in-flight launch (d.launch,
+// published by Run before the spawn). Run must stay allocation-free in
+// steady state, so this takes no launch argument.
+func (d *Device) runSM(smID int) {
+	defer d.wg.Done()
+	l := d.launch
+	sm := d.sms[smID]
+	for block := smID; block < l.Blocks; block += d.cfg.NumSMs {
+		if d.engine == EngineOracle {
+			d.runBlockOracle(sm, l, block)
+		} else {
+			d.runBlock(sm, l, block)
+		}
+	}
+}
+
+// runBlock traces and replays one thread block on an SM with the
+// streaming engine. Warps are processed in windows of ResidentWarps whose
+// unit execution interleaves round-robin, so the window's combined
+// working set contends for the SM's caches the way concurrently resident
+// warps do on hardware.
+//
+// Record and replay are fused at warp granularity: as soon as one warp's
+// <= WarpSize lanes are traced, its first unit step replays while the
+// lanes' units/loads/stores arrays are still cache-hot, instead of
+// materializing the whole resident window first. Tracing never touches
+// the simulated caches, so the replay order — unit step t of every
+// resident warp in warp order, then step t+1 — is exactly the oracle's;
+// the window cursor then walks the remaining steps once the window is
+// fully traced. The lane arenas are reused window after window (and, for
+// single-warp windows, warp after warp), so a warm device re-traces into
+// already-sized slices.
 func (d *Device) runBlock(sm *smState, l Launch, block int) {
 	ws := d.cfg.WarpSize
 	window := d.cfg.ResidentWarps
@@ -195,8 +350,8 @@ func (d *Device) runBlock(sm *smState, l Launch, block int) {
 		if w1 > warps {
 			w1 = warps
 		}
-		// Trace every lane of the resident window.
-		var resident [][]*Lane
+		sm.resident = sm.resident[:0]
+		maxUnits := 0
 		for w := w0; w < w1; w++ {
 			warpStart := w * ws
 			n := ws
@@ -209,20 +364,21 @@ func (d *Device) runBlock(sm *smState, l Launch, block int) {
 				lane.reset(warpStart+i, block)
 				l.Kernel(lane, block, warpStart+i)
 				lane.closeUnit()
-			}
-			resident = append(resident, lanes)
-		}
-		// Interleave the warps' unit steps round-robin.
-		maxUnits := 0
-		for _, lanes := range resident {
-			for _, lane := range lanes {
 				if len(lane.units) > maxUnits {
 					maxUnits = len(lane.units)
 				}
 			}
+			sm.resident = append(sm.resident, lanes)
+			// Replay the freshly traced warp's first unit step while its
+			// trace is hot; steps of warps traced earlier in the window
+			// cannot run yet (their step-t replay must follow this
+			// warp's step t-1 in the interleaved order).
+			d.replayWarpStep(sm, lanes, 0)
 		}
-		for t := 0; t < maxUnits; t++ {
-			for _, lanes := range resident {
+		// Window cursor: step 0 replayed during tracing; interleave the
+		// remaining unit steps round-robin across the resident warps.
+		for t := 1; t < maxUnits; t++ {
+			for _, lanes := range sm.resident {
 				d.replayWarpStep(sm, lanes, t)
 			}
 		}
@@ -231,48 +387,70 @@ func (d *Device) runBlock(sm *smState, l Launch, block int) {
 
 // replayWarpStep replays unit step t of one warp in SIMT lockstep,
 // charging instruction issue, divergence, coalescing, caches and DRAM.
+// The distinct unit kinds present at step t are collected by sorted
+// insertion into fixed-capacity scratch (<= WarpSize entries), replacing
+// the oracle's append-then-sort.Slice — no allocation, no closure, and
+// the uniform case (one kind) costs a single comparison per lane. A fully
+// convergent step — every lane alive at t with one shared kind, the
+// dominant shape — skips the member-gathering rescan and replays the warp
+// directly.
 func (d *Device) replayWarpStep(sm *smState, lanes []*Lane, t int) {
-	var kinds []uint16
-	var members []*Lane
+	kinds := sm.kinds[:0]
+	alive := sm.members[:0]
 	for _, lane := range lanes {
-		if t < len(lane.units) {
-			k := lane.units[t].kind
-			seen := false
-			for _, kk := range kinds {
-				if kk == k {
-					seen = true
-					break
-				}
-			}
-			if !seen {
-				kinds = append(kinds, k)
-			}
+		if t >= len(lane.units) {
+			continue
 		}
+		alive = append(alive, lane)
+		k := lane.units[t].kind
+		i := len(kinds)
+		for i > 0 && kinds[i-1] > k {
+			i--
+		}
+		if i > 0 && kinds[i-1] == k {
+			continue
+		}
+		kinds = append(kinds, 0)
+		copy(kinds[i+1:], kinds[i:])
+		kinds[i] = k
 	}
 	if len(kinds) == 0 {
 		return
 	}
-	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	if len(kinds) == 1 {
+		// Convergent step (full warp or trip-count survivors): the alive
+		// lanes, already collected in warp order, are the one group.
+		d.replayGroup(sm, alive, t)
+		return
+	}
 	// Divergent kinds at the same step serialise; each group issues
-	// independently with only its members active.
+	// independently with only its members active. Groups are re-gathered
+	// from the alive set (fewer probes than the full warp, and the
+	// t < len(units) check is already settled).
 	for _, k := range kinds {
-		members = members[:0]
-		for _, lane := range lanes {
-			if t < len(lane.units) && lane.units[t].kind == k {
-				members = append(members, lane)
+		group := sm.group[:0]
+		for _, lane := range alive {
+			if lane.units[t].kind == k {
+				group = append(group, lane)
 			}
 		}
-		d.replayGroup(sm, members, t)
+		d.replayGroup(sm, group, t)
 	}
 }
 
 // replayGroup issues the t-th unit of the member lanes as one lockstep
-// group.
+// group. The stats pass only reads unit bounds; the members' load/store
+// address windows are sliced into scratch once per group — and only when
+// the group actually issues memory instructions, so flop-only units pay
+// nothing. The gather loops then convert lane addresses straight to cache
+// lines (a shift when the line size is a power of two, which it is for
+// every shipped config), detecting the single-line and presorted
+// coalescing shapes on the fly so walkLines never re-scans.
 func (d *Device) replayGroup(sm *smState, members []*Lane, t int) {
 	m := &sm.m
 	var maxInsts, maxFlops, maxLoads, maxStores uint64
 	for _, lane := range members {
-		u := lane.units[t]
+		u := &lane.units[t]
 		loads := uint64(u.loadEnd - u.loadStart)
 		stores := uint64(u.stEnd - u.stStart)
 		insts := uint64(u.flops) + loads + stores
@@ -293,51 +471,103 @@ func (d *Device) replayGroup(sm *smState, members []*Lane, t int) {
 	}
 	m.IssuedWarpInsts += maxInsts
 	m.IssuedFlops += maxFlops
+	sm.warpInsts += maxInsts
 
 	// Loads: the i-th load of every member forms one warp memory
 	// instruction; unique L1 lines among active lanes become transactions.
-	for i := uint64(0); i < maxLoads; i++ {
-		sm.addrs = sm.addrs[:0]
+	if maxLoads > 0 {
+		loadSl := sm.loadSl[:0]
 		for _, lane := range members {
-			u := lane.units[t]
-			if u.loadStart+uint32(i) < u.loadEnd {
-				sm.addrs = append(sm.addrs, lane.loads[u.loadStart+uint32(i)])
-			}
+			u := &lane.units[t]
+			loadSl = append(loadSl, lane.loads[u.loadStart:u.loadEnd])
 		}
-		m.LoadReqBytes += 8 * uint64(len(sm.addrs))
-		d.accessLines(sm, sm.addrs, true)
+		for i := 0; i < int(maxLoads); i++ {
+			n, same, sorted := d.gatherLines(sm, loadSl, i)
+			m.LoadReqBytes += 8 * uint64(n)
+			d.walkLines(sm, sm.lines[:n], same, sorted, true)
+		}
 	}
-	for i := uint64(0); i < maxStores; i++ {
-		sm.addrs = sm.addrs[:0]
+	if maxStores > 0 {
+		storeSl := sm.storeSl[:0]
 		for _, lane := range members {
-			u := lane.units[t]
-			if u.stStart+uint32(i) < u.stEnd {
-				sm.addrs = append(sm.addrs, lane.stores[u.stStart+uint32(i)])
-			}
+			u := &lane.units[t]
+			storeSl = append(storeSl, lane.stores[u.stStart:u.stEnd])
 		}
-		m.StoreReqBytes += 8 * uint64(len(sm.addrs))
-		d.accessLines(sm, sm.addrs, false)
+		for i := 0; i < int(maxStores); i++ {
+			n, same, sorted := d.gatherLines(sm, storeSl, i)
+			m.StoreReqBytes += 8 * uint64(n)
+			d.walkLines(sm, sm.lines[:n], same, sorted, false)
+		}
 	}
 }
 
-// accessLines coalesces the lane addresses of one warp memory instruction
+// gatherLines collects the i-th address of every window into the line
+// scratch, converted to L1 lines, noting whether all lines coincide and
+// whether they arrived non-decreasing. Returns the number gathered.
+func (d *Device) gatherLines(sm *smState, windows [][]uintptr, i int) (n int, same, sorted bool) {
+	lineBytes := uintptr(d.cfg.L1LineBytes)
+	shift := d.lineShift
+	lines := sm.lines[:0]
+	var first, prev uintptr
+	same, sorted = true, true
+	for _, sl := range windows {
+		if i >= len(sl) {
+			continue
+		}
+		a := sl[i]
+		var ln uintptr
+		if shift >= 0 {
+			ln = a >> uint(shift)
+		} else {
+			ln = a / lineBytes
+		}
+		if len(lines) == 0 {
+			first = ln
+		} else {
+			if ln != first {
+				same = false
+			}
+			if ln < prev {
+				sorted = false
+			}
+		}
+		prev = ln
+		lines = append(lines, ln)
+	}
+	return len(lines), same, sorted
+}
+
+// walkLines coalesces the line scratch of one warp memory instruction
 // into unique cache lines and walks them through the hierarchy. Loads
 // consult L1 then L2 then DRAM; stores write through to DRAM at line
 // granularity (non-allocating, like Kepler's global store path).
-func (d *Device) accessLines(sm *smState, addrs []uintptr, isLoad bool) {
-	if len(addrs) == 0 {
+//
+// The streaming engine's coalescer exploits the patterns warps actually
+// produce, detected by the caller during the gather: if every active lane
+// touched one line (broadcast, or a stride-1 warp inside one line) the
+// sort and dedup are skipped entirely; if the lanes' lines arrived
+// already non-decreasing (stride-1 across lines, the dominant shape) the
+// presorted order is kept; only genuinely scattered accesses pay an
+// in-place insertion sort over the <= WarpSize-entry scratch —
+// allocation-free, unlike sort.Slice.
+func (d *Device) walkLines(sm *smState, lines []uintptr, same, sorted, isLoad bool) {
+	if len(lines) == 0 {
 		return
 	}
-	line := uintptr(d.cfg.L1LineBytes)
-	sm.lines = sm.lines[:0]
-	for _, a := range addrs {
-		sm.lines = append(sm.lines, a/line)
-	}
-	sort.Slice(sm.lines, func(i, j int) bool { return sm.lines[i] < sm.lines[j] })
-	uniq := sm.lines[:0]
-	for i, ln := range sm.lines {
-		if i == 0 || ln != uniq[len(uniq)-1] {
-			uniq = append(uniq, ln)
+	var uniq []uintptr
+	if same {
+		sm.lineHits++
+		uniq = lines[:1]
+	} else {
+		if !sorted {
+			sm.sortFallbacks++
+			insertionSortLines(lines)
+		}
+		uniq = lines[:0]
+		for i, ln := range lines {
+			if i == 0 || ln != uniq[len(uniq)-1] {
+				uniq = append(uniq, ln)
+			}
 		}
 	}
 	m := &sm.m
@@ -358,5 +588,21 @@ func (d *Device) accessLines(sm *smState, addrs []uintptr, isLoad bool) {
 		}
 	} else {
 		m.DRAMWriteBytes += uint64(len(uniq)) * uint64(d.cfg.L2LineBytes)
+	}
+}
+
+// insertionSortLines sorts the line scratch in place. The slice holds at
+// most WarpSize entries and is nearly sorted for every realistic access
+// pattern, where insertion sort beats the generic sort by a wide margin
+// and allocates nothing.
+func insertionSortLines(lines []uintptr) {
+	for i := 1; i < len(lines); i++ {
+		v := lines[i]
+		j := i - 1
+		for j >= 0 && lines[j] > v {
+			lines[j+1] = lines[j]
+			j--
+		}
+		lines[j+1] = v
 	}
 }

@@ -33,8 +33,23 @@ type unit struct {
 // Begin opens a new work unit of the given kind, closing the previous one.
 // Kind values are kernel-defined labels for basic blocks; two lanes of a
 // warp proceed in lockstep only while their current units share a kind.
+// Lanes are arena-reused across warps, so after the first trace sized the
+// units slice, reopening a slot writes in place instead of appending.
 func (l *Lane) Begin(kind int) {
-	l.closeUnit()
+	n := len(l.units)
+	if n > 0 {
+		l.units[n-1].loadEnd = uint32(len(l.loads))
+		l.units[n-1].stEnd = uint32(len(l.stores))
+	}
+	if n < cap(l.units) {
+		l.units = l.units[:n+1]
+		l.units[n] = unit{
+			kind:      uint16(kind),
+			loadStart: uint32(len(l.loads)),
+			stStart:   uint32(len(l.stores)),
+		}
+		return
+	}
 	l.units = append(l.units, unit{
 		kind:      uint16(kind),
 		loadStart: uint32(len(l.loads)),
@@ -81,9 +96,12 @@ func (l *Lane) Store(addr uintptr) {
 // Units returns the number of recorded work units (useful in tests).
 func (l *Lane) Units() int { return len(l.units) }
 
-// LaneFlops returns the total flops recorded (useful in tests).
+// LaneFlops returns the total flops recorded (useful in tests). It is
+// read-only: the flops counter of every unit — including the still-open
+// one — is maintained live by Flops, so no closeUnit is needed, and a
+// mid-trace caller must not have its open unit's load/store bounds
+// stamped early.
 func (l *Lane) LaneFlops() uint64 {
-	l.closeUnit()
 	var s uint64
 	for _, u := range l.units {
 		s += uint64(u.flops)

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// GPUBenchmarkName is the "benchmark" tag cmd/benchgpu writes into
+// BENCH_gpu.json; the gate dispatches budget files on it.
+const GPUBenchmarkName = "gpu-replay"
+
+// GPULaunchRow is one per-workload row of BENCH_gpu.json: the oracle and
+// streaming replay cost of a representative kernel launch, normalised to
+// microseconds per simulated warp instruction so grids of different sizes
+// compare directly.
+type GPULaunchRow struct {
+	Name                string  `json:"name"`
+	WarpInsts           uint64  `json:"warp_insts"`
+	OracleUsPerWarpInst float64 `json:"oracle_us_per_warp_inst"`
+	StreamUsPerWarpInst float64 `json:"streaming_us_per_warp_inst"`
+	Speedup             float64 `json:"speedup"`
+}
+
+// GPUBaseline is the slice of BENCH_gpu.json the regression gate reads:
+// the committed streaming-vs-oracle replay speedup (the oracle engine is
+// the seed replay path, preserved verbatim for exactly this comparison)
+// and the streaming engine's steady-state allocation count per launch,
+// with the floors both must meet.
+type GPUBaseline struct {
+	Benchmark           string         `json:"benchmark"`
+	Grid                int            `json:"grid"`
+	OracleUsPerWarpInst float64        `json:"oracle_us_per_warp_inst"`
+	StreamUsPerWarpInst float64        `json:"streaming_us_per_warp_inst"`
+	SpeedupVsSeed       float64        `json:"speedup_vs_seed"`
+	AllocsPerLaunch     float64        `json:"allocs_per_launch"`
+	Launches            []GPULaunchRow `json:"launches"`
+	MinSpeedup          float64        `json:"min_speedup"`
+	MaxAllocsPerLaunch  float64        `json:"max_allocs_per_launch"`
+}
+
+// ReadGPUBaseline parses a BENCH_gpu.json file.
+func ReadGPUBaseline(path string) (GPUBaseline, error) {
+	var b GPUBaseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Benchmark != GPUBenchmarkName {
+		return b, fmt.Errorf("%s: benchmark %q — not a BENCH_gpu.json?", path, b.Benchmark)
+	}
+	if b.StreamUsPerWarpInst <= 0 || b.OracleUsPerWarpInst <= 0 {
+		return b, fmt.Errorf("%s: missing per-warp-instruction costs", path)
+	}
+	return b, nil
+}
+
+// CheckGPUBaseline validates the committed BENCH_gpu.json against its own
+// recorded floors: speedup_vs_seed must meet min_speedup, and the
+// streaming engine's measured allocations per launch must not exceed
+// max_allocs_per_launch (0 in the committed file — the zero-allocation
+// contract TestRunZeroSteadyStateAllocs pins is also enforced on the
+// committed measurement, so a re-benchmark that regressed it cannot be
+// merged silently). The checks reuse the RP self-check plumbing so
+// obstool renders every committed-floor verdict through one table.
+func CheckGPUBaseline(b GPUBaseline) []RPCheck {
+	var out []RPCheck
+	if b.MinSpeedup > 0 {
+		out = append(out, RPCheck{
+			Name:  "speedup_vs_seed",
+			Value: b.SpeedupVsSeed,
+			Limit: b.MinSpeedup,
+			OK:    b.SpeedupVsSeed >= b.MinSpeedup,
+		})
+	}
+	out = append(out, RPCheck{
+		Name:  "allocs_per_launch",
+		Value: b.AllocsPerLaunch,
+		Limit: b.MaxAllocsPerLaunch,
+		OK:    b.AllocsPerLaunch <= b.MaxAllocsPerLaunch,
+	})
+	// The aggregate floor could hide one access pattern regressing behind
+	// another's speedup, so each committed workload row also carries a
+	// weaker individual bound: no workload may replay slower than the seed
+	// engine it replaced.
+	for _, r := range b.Launches {
+		out = append(out, RPCheck{
+			Name:  "speedup[" + r.Name + "]",
+			Value: r.Speedup,
+			Limit: 1,
+			OK:    r.Speedup >= 1,
+		})
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTempJSON(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func gpuBaseline() GPUBaseline {
+	return GPUBaseline{
+		Benchmark:           GPUBenchmarkName,
+		Grid:                128,
+		OracleUsPerWarpInst: 0.17,
+		StreamUsPerWarpInst: 0.08,
+		SpeedupVsSeed:       2.16,
+		AllocsPerLaunch:     0,
+		MinSpeedup:          2,
+		MaxAllocsPerLaunch:  0,
+		Launches: []GPULaunchRow{
+			{Name: "stride1", WarpInsts: 30720, OracleUsPerWarpInst: 0.18, StreamUsPerWarpInst: 0.08, Speedup: 2.2},
+			{Name: "scattered", WarpInsts: 5120, OracleUsPerWarpInst: 1.37, StreamUsPerWarpInst: 0.60, Speedup: 2.3},
+		},
+	}
+}
+
+// TestCheckGPUBaselinePasses: a healthy committed baseline — aggregate
+// speedup over the floor, zero allocations, every workload row at least
+// as fast as the seed — passes all self-checks.
+func TestCheckGPUBaselinePasses(t *testing.T) {
+	checks := CheckGPUBaseline(gpuBaseline())
+	if len(checks) != 4 {
+		t.Fatalf("got %d checks, want 4 (speedup + allocs + 2 rows)", len(checks))
+	}
+	for _, c := range checks {
+		if !c.OK || c.Skipped {
+			t.Fatalf("check %s = %+v, want ok", c.Name, c)
+		}
+	}
+	if !RPChecksOK(checks) {
+		t.Fatal("RPChecksOK = false for a passing baseline")
+	}
+}
+
+// TestCheckGPUBaselineSpeedupFloor: a committed aggregate speedup below
+// min_speedup fails the gate.
+func TestCheckGPUBaselineSpeedupFloor(t *testing.T) {
+	b := gpuBaseline()
+	b.SpeedupVsSeed = 1.9
+	checks := CheckGPUBaseline(b)
+	c := findCheck(t, checks, "speedup_vs_seed")
+	if c.OK || c.Skipped {
+		t.Fatalf("speedup_vs_seed = %+v, want failed", c)
+	}
+	if RPChecksOK(checks) {
+		t.Fatal("RPChecksOK = true with the speedup floor broken")
+	}
+}
+
+// TestCheckGPUBaselineAllocs: the zero-allocation contract is enforced on
+// the committed measurement — any recorded allocation fails.
+func TestCheckGPUBaselineAllocs(t *testing.T) {
+	b := gpuBaseline()
+	b.AllocsPerLaunch = 0.5
+	c := findCheck(t, CheckGPUBaseline(b), "allocs_per_launch")
+	if c.OK {
+		t.Fatalf("allocs_per_launch = %+v, want failed", c)
+	}
+}
+
+// TestCheckGPUBaselineRowFloor: a single workload replaying slower than
+// the seed engine fails its per-row bound even when the aggregate floor
+// still holds.
+func TestCheckGPUBaselineRowFloor(t *testing.T) {
+	b := gpuBaseline()
+	b.Launches[1].Speedup = 0.9
+	c := findCheck(t, CheckGPUBaseline(b), "speedup[scattered]")
+	if c.OK {
+		t.Fatalf("speedup[scattered] = %+v, want failed", c)
+	}
+	if RPChecksOK(CheckGPUBaseline(b)) {
+		t.Fatal("RPChecksOK = true with a workload row below 1x")
+	}
+}
+
+// TestReadGPUBaselineRejectsWrongTag: gate dispatch depends on the
+// benchmark tag, so a mis-tagged file is an error, not a zero baseline.
+func TestReadGPUBaselineRejectsWrongTag(t *testing.T) {
+	path := writeTempJSON(t, map[string]any{"benchmark": "rp-integral"})
+	if _, err := ReadGPUBaseline(path); err == nil {
+		t.Fatal("ReadGPUBaseline accepted a non-gpu benchmark tag")
+	}
+}

@@ -41,3 +41,19 @@ func (b GPUBridge) Record(name string, m gpusim.Metrics) {
 		h.Observe(m.Time)
 	}
 }
+
+// RecordReplay implements gpusim.ReplayRecorder: the replay engine's own
+// statistics — warp-instruction slots replayed and how often each
+// streaming fast path fired — join the registry as gpu_replay_* counters,
+// so a snapshot shows whether a workload's access patterns actually hit
+// the MRU and presorted-coalesce paths the engine is built around.
+func (b GPUBridge) RecordReplay(name string, s gpusim.ReplayStats) {
+	if b.Reg == nil {
+		return
+	}
+	kl := Label{"kernel", name}
+	b.Reg.Counter("gpu_replay_warp_insts_total", kl).Add(s.WarpInsts)
+	b.Reg.Counter("gpu_replay_mru_hits_total", kl).Add(s.MRUHits)
+	b.Reg.Counter("gpu_replay_sort_fallbacks_total", kl).Add(s.SortFallbacks)
+	b.Reg.Counter("gpu_replay_line_shortcircuits_total", kl).Add(s.LineShortCircuits)
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"testing"
+
+	"beamdyn/internal/gpusim"
+)
+
+// TestGPUBridgeRecordReplay runs a real device launch with the bridge
+// attached and requires the replay engine's own statistics to land in the
+// registry: the gpu_replay_* counters are how a snapshot shows whether a
+// workload's access patterns hit the streaming fast paths.
+func TestGPUBridgeRecordReplay(t *testing.T) {
+	reg := NewRegistry()
+	d := gpusim.New(gpusim.KeplerK40())
+	d.AttachRecorder(GPUBridge{Reg: reg})
+	d.Run(gpusim.Launch{
+		Name: "replay-probe", Blocks: 2, ThreadsPerBlock: 64,
+		Kernel: func(l *gpusim.Lane, b, th int) {
+			for u := 0; u < 3; u++ {
+				l.Begin(0)
+				l.Flops(2)
+				// Broadcasts (line short-circuits) alternating between two
+				// sets, so the repeat is answered by the MRU front probe.
+				l.Load(0)
+				l.Load(128)
+			}
+			l.Begin(1)
+			l.Load(uintptr((64 - th) * 4096)) // descending: sort fallback
+			l.Store(uintptr(b*512 + th*8))
+		},
+	})
+	kl := Label{"kernel", "replay-probe"}
+	for _, name := range []string{
+		"gpu_replay_warp_insts_total",
+		"gpu_replay_mru_hits_total",
+		"gpu_replay_sort_fallbacks_total",
+		"gpu_replay_line_shortcircuits_total",
+	} {
+		if v := reg.Counter(name, kl).Value(); v == 0 {
+			t.Errorf("%s = 0 after a launch exercising every fast path", name)
+		}
+	}
+	// The bridge must stay a pure mirror: a nil-Reg bridge ignores both
+	// record paths.
+	var none GPUBridge
+	none.Record("x", gpusim.Metrics{})
+	none.RecordReplay("x", gpusim.ReplayStats{})
+}
